@@ -1,0 +1,67 @@
+//! Experiment P3 — cost of deriving and aggregating the star schema (Sec. 7
+//! steps 1–3 plus the OLAP aggregation the paper delegates to an external
+//! tool), as a function of the complete-result size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seda_bench::{factbook_engine, query1};
+use seda_core::ContextSelections;
+use seda_olap::{aggregate, AggFn, BuildOptions, CubeQuery};
+
+fn bench_cube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube_build");
+    group.sample_size(10);
+
+    for &countries in &[30usize, 90, 180] {
+        let engine = factbook_engine(countries, 6);
+        let collection = engine.collection();
+        let query = query1();
+        let mut selections = ContextSelections::none();
+        for (term, path) in [
+            (0usize, "/country/name"),
+            (1, "/country/economy/import_partners/item/trade_country"),
+            (2, "/country/economy/import_partners/item/percentage"),
+        ] {
+            if let Some(p) = collection.paths().get_str(collection.symbols(), path) {
+                selections.select(term, vec![p]);
+            }
+        }
+        let result = engine.complete_results(&query, &selections, &[]);
+        group.bench_with_input(
+            BenchmarkId::new("star_schema_build", result.len()),
+            &result,
+            |b, result| {
+                b.iter(|| {
+                    engine
+                        .build_star_schema(result, &BuildOptions::default())
+                        .schema
+                        .fact_tables
+                        .len()
+                })
+            },
+        );
+
+        let build = engine.build_star_schema(&result, &BuildOptions::default());
+        if let Some(fact) = build.schema.fact("import-trade-percentage") {
+            group.bench_with_input(
+                BenchmarkId::new("cube_aggregate_rows", fact.len()),
+                fact,
+                |b, fact| {
+                    b.iter(|| {
+                        aggregate(
+                            fact,
+                            &CubeQuery::sum(&["year", "import-country"], "import-trade-percentage")
+                                .with_agg(AggFn::Avg),
+                        )
+                        .map(|r| r.len())
+                        .unwrap_or(0)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cube);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiments F8 and S1 — the keyword→path context index of Figure 8 and the
+//! in-text Factbook statistics (1984 distinct paths, 27 contexts for
+//! "United States", `/country` in 1577/1600 documents, long tail of rare
+//! paths).
+//!
+//! Benchmarks context-bucket computation for the Query 1 terms and compares
+//! the two count-storage designs the paper discusses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use seda_bench::factbook_stats;
+use seda_datagen::{factbook, FactbookConfig};
+use seda_textindex::{ContextIndex, CountStorage, FullTextQuery};
+
+fn corpus_countries() -> usize {
+    std::env::var("SEDA_FACTBOOK_COUNTRIES").ok().and_then(|s| s.parse().ok()).unwrap_or(80)
+}
+
+fn bench_context_index(c: &mut Criterion) {
+    let collection =
+        factbook::generate(&FactbookConfig::paper_scaled(corpus_countries(), 6)).unwrap();
+    let stats = factbook_stats(&collection);
+    println!(
+        "\n=== Experiments F8/S1 ===\n\
+         documents                     : {} (paper: 1600)\n\
+         distinct paths                : {} (paper: 1984)\n\
+         contexts matching \"United States\": {} (paper: 27)\n\
+         documents with /country       : {} (paper: 1577)\n\
+         documents with refugees path  : {} (paper: 186)\n",
+        stats.documents,
+        stats.distinct_paths,
+        stats.united_states_contexts,
+        stats.country_documents,
+        stats.refugees_documents
+    );
+
+    let doc_store = ContextIndex::build(&collection, CountStorage::DocumentStore);
+    let postings = ContextIndex::build(&collection, CountStorage::PostingLists);
+    println!(
+        "count storage ablation: document-store entries = {}, posting-list entries = {}\n",
+        doc_store.count_entries(),
+        postings.count_entries()
+    );
+
+    let mut group = c.benchmark_group("fig8_context_buckets");
+    group.sample_size(20);
+    let queries = [
+        ("united_states_phrase", FullTextQuery::phrase("United States")),
+        ("trade_country_tag", FullTextQuery::keywords("trade country")),
+        ("percentage_tag", FullTextQuery::keywords("percentage")),
+        ("import_keyword", FullTextQuery::keywords("import")),
+    ];
+    for (name, query) in &queries {
+        group.bench_function(format!("document_store/{name}"), |b| {
+            b.iter(|| doc_store.context_bucket(query).len())
+        });
+        group.bench_function(format!("posting_lists/{name}"), |b| {
+            b.iter(|| postings.context_bucket(query).len())
+        });
+    }
+    group.bench_function("index_build/document_store", |b| {
+        b.iter(|| ContextIndex::build(&collection, CountStorage::DocumentStore).keyword_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_context_index);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment T1 — Table 1: dataguide statistics at a 40% overlap threshold
+//! for the four data sets (Google Base, Mondial, RecipeML, World Factbook).
+//!
+//! The harness prints the reproduced table (paper vs measured) once and then
+//! benchmarks the dataguide merge itself per data set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seda_bench::{render_table1, scaled_collection, table1};
+use seda_datagen::Dataset;
+use seda_dataguide::DataGuideSet;
+
+/// Corpus scale used for the printed table; override with
+/// `SEDA_TABLE1_SCALE=1.0` to reproduce the paper-sized corpora.
+fn table_scale() -> f64 {
+    std::env::var("SEDA_TABLE1_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.1)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = table_scale();
+    let rows = table1(scale);
+    println!("\n=== Experiment T1 (scale {scale}) ===\n{}", render_table1(&rows));
+
+    let mut group = c.benchmark_group("table1_dataguide_merge");
+    group.sample_size(10);
+    for dataset in Dataset::ALL {
+        let collection = scaled_collection(dataset, 0.05);
+        group.bench_with_input(
+            BenchmarkId::new("merge_40pct", dataset.name().replace(' ', "_")),
+            &collection,
+            |b, collection| {
+                b.iter(|| DataGuideSet::build(collection, 0.4).expect("dataguide build").len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

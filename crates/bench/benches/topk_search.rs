@@ -1,0 +1,55 @@
+//! Experiment P1 — top-k search latency and early termination (Sec. 4).
+//!
+//! The paper claims SEDA "first quickly retrieves top-k tuples" before any
+//! expensive complete-result computation.  This bench measures the
+//! Threshold-Algorithm searcher for k ∈ {1, 10, 100} against the exhaustive
+//! baseline, over Factbook-like corpora of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seda_core::ContextSelections;
+use seda_bench::{factbook_engine, query1};
+use seda_topk::{TopKConfig, TopKSearcher};
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_search");
+    group.sample_size(10);
+
+    for &countries in &[20usize, 60, 120] {
+        let engine = factbook_engine(countries, 3);
+        let query = query1();
+        let selections = ContextSelections::none();
+        for &k in &[1usize, 10, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ta_{countries}countries"), k),
+                &k,
+                |b, &k| b.iter(|| engine.top_k(&query, &selections, k).tuples.len()),
+            );
+        }
+        // Naive baseline at k = 10 for comparison (who wins and by how much).
+        let collection = engine.collection();
+        let searcher = TopKSearcher::new(collection, engine.node_index(), engine.graph());
+        let terms: Vec<seda_topk::TermInput> = query
+            .terms
+            .iter()
+            .map(|t| match t.context.allowed_paths(collection) {
+                Some(paths) => seda_topk::TermInput::with_paths(t.search.clone(), paths),
+                None => seda_topk::TermInput::new(t.search.clone()),
+            })
+            .collect();
+        group.bench_function(format!("naive_{countries}countries/10"), |b| {
+            b.iter(|| searcher.search_naive(&terms, &TopKConfig::with_k(10)).tuples.len())
+        });
+
+        // Scoring ablation: content-only (structure weight 0) vs combined.
+        let mut content_only = TopKConfig::with_k(10);
+        content_only.structure_weight = 0.0;
+        group.bench_function(format!("ta_content_only_{countries}countries/10"), |b| {
+            b.iter(|| searcher.search(&terms, &content_only).tuples.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment P2 — complete-result materialisation cost (Sec. 7): holistic
+//! twig evaluation over Dewey-ordered streams and cross-twig joins, over
+//! corpora of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seda_datagen::{factbook, mondial, FactbookConfig, MondialConfig};
+use seda_datagraph::{DataGraph, GraphConfig};
+use seda_textindex::FullTextQuery;
+use seda_twigjoin::{cross_twig_join, evaluate_twig, JoinPredicate, TwigPattern};
+
+fn query1_pattern() -> TwigPattern {
+    let mut pattern = TwigPattern::from_paths(&[
+        "/country/name",
+        "/country/year",
+        "/country/economy/import_partners/item/trade_country",
+        "/country/economy/import_partners/item/percentage",
+    ])
+    .unwrap();
+    let name_node = pattern
+        .node_indices()
+        .into_iter()
+        .find(|&i| pattern.node(i).label == "name")
+        .unwrap();
+    pattern.set_predicate(name_node, FullTextQuery::phrase("United States"));
+    pattern
+}
+
+fn bench_twig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twig_join");
+    group.sample_size(10);
+
+    for &countries in &[30usize, 90, 180] {
+        let collection =
+            factbook::generate(&FactbookConfig::paper_scaled(countries, 6)).unwrap();
+        let pattern = query1_pattern();
+        group.bench_with_input(
+            BenchmarkId::new("query1_twig", countries * 6),
+            &collection,
+            |b, collection| b.iter(|| evaluate_twig(collection, &pattern).len()),
+        );
+    }
+
+    // Cross-twig join over the Mondial-like corpus: seas joined to the
+    // countries they border via IDREF adjacency.
+    let mondial = mondial::generate(&MondialConfig::small()).unwrap();
+    let graph = DataGraph::build(&mondial, &GraphConfig::default());
+    let bordering = evaluate_twig(&mondial, &TwigPattern::from_path("/sea/bordering").unwrap());
+    let mut country = TwigPattern::from_path("/country/name").unwrap();
+    country.set_output(0, true);
+    let countries = evaluate_twig(&mondial, &country);
+    group.bench_function("cross_twig_join_idref", |b| {
+        b.iter(|| {
+            cross_twig_join(
+                &mondial,
+                &graph,
+                &bordering,
+                &countries,
+                &[JoinPredicate::GraphAdjacency { left: 0, right: 0 }],
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_twig);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! # seda-bench
+//!
+//! Shared fixtures and report generators for the benchmark harness that
+//! regenerates every table and figure of the SEDA paper (see `DESIGN.md` for
+//! the experiment index and `EXPERIMENTS.md` for paper-vs-measured numbers).
+//!
+//! The heavy lifting lives here so that the individual Criterion benches stay
+//! small and the same reports can be produced by examples and integration
+//! tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use seda_core::{ContextSelections, EngineConfig, SedaEngine, SedaQuery};
+use seda_datagen::{
+    factbook, googlebase, mondial, recipeml, Dataset, FactbookConfig, GoogleBaseConfig,
+    MondialConfig, RecipeMlConfig,
+};
+use seda_dataguide::DataGuideSet;
+use seda_olap::{BuildOptions, Registry, StarSchemaBuild};
+use seda_textindex::{ContextIndex, CountStorage, FullTextQuery};
+use seda_xmlstore::Collection;
+
+/// Scale factor applied to the paper-sized corpora.  `1.0` reproduces the
+/// Table 1 document counts exactly; smaller values keep bench iterations
+/// affordable.
+pub fn scaled_collection(dataset: Dataset, scale: f64) -> Collection {
+    let scale = scale.clamp(0.005, 1.0);
+    match dataset {
+        Dataset::GoogleBase => {
+            let mut config = GoogleBaseConfig::paper();
+            config.items = ((config.items as f64 * scale) as usize).max(50);
+            googlebase::generate(&config).expect("generate google base")
+        }
+        Dataset::Mondial => {
+            let mut config = MondialConfig::paper();
+            config.countries = ((config.countries as f64 * scale) as usize).max(10);
+            config.provinces = ((config.provinces as f64 * scale) as usize).max(10);
+            config.cities = ((config.cities as f64 * scale) as usize).max(20);
+            config.seas = ((config.seas as f64 * scale) as usize).max(4);
+            config.rivers = ((config.rivers as f64 * scale) as usize).max(4);
+            config.organizations = ((config.organizations as f64 * scale) as usize).max(3);
+            config.features = ((config.features as f64 * scale) as usize).max(4);
+            mondial::generate(&config).expect("generate mondial")
+        }
+        Dataset::RecipeMl => {
+            let mut config = RecipeMlConfig::paper();
+            config.recipes = ((config.recipes as f64 * scale) as usize).max(50);
+            recipeml::generate(&config).expect("generate recipeml")
+        }
+        Dataset::WorldFactbook => {
+            let countries = ((267.0 * scale) as usize).max(10);
+            let years = if scale >= 0.5 { 6 } else { 3 };
+            factbook::generate(&FactbookConfig::paper_scaled(countries, years))
+                .expect("generate factbook")
+        }
+    }
+}
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Data set name.
+    pub dataset: &'static str,
+    /// Documents generated.
+    pub documents: usize,
+    /// Dataguides measured at the 40% threshold.
+    pub dataguides: usize,
+    /// Documents reported by the paper.
+    pub paper_documents: usize,
+    /// Dataguides reported by the paper.
+    pub paper_dataguides: usize,
+}
+
+/// Reproduces Table 1 (dataguide statistics at a 40% overlap threshold) at the
+/// given corpus scale.
+pub fn table1(scale: f64) -> Vec<Table1Row> {
+    Dataset::ALL
+        .iter()
+        .map(|&dataset| {
+            let collection = scaled_collection(dataset, scale);
+            let guides = DataGuideSet::build(&collection, 0.4).expect("dataguide build");
+            Table1Row {
+                dataset: dataset.name(),
+                documents: collection.len(),
+                dataguides: guides.len(),
+                paper_documents: dataset.paper_document_count(),
+                paper_dataguides: dataset.paper_dataguide_count(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 in the paper's layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "Table 1: Dataguide statistics for threshold of 40%\n\
+         data set                  # documents   # data guides   (paper: docs -> guides)\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<25} {:>11} {:>15}   ({} -> {})\n",
+            row.dataset, row.documents, row.dataguides, row.paper_documents, row.paper_dataguides
+        ));
+    }
+    out
+}
+
+/// Statistics of the Factbook-like corpus reported in the paper's text
+/// (Sec. 1 and Sec. 5): distinct paths, number of contexts matching
+/// "United States", and document frequencies of prominent vs rare paths.
+#[derive(Debug, Clone)]
+pub struct FactbookStats {
+    /// Total documents.
+    pub documents: usize,
+    /// Distinct root-to-leaf paths (paper: 1984).
+    pub distinct_paths: usize,
+    /// Distinct contexts matching the content "United States" (paper: 27).
+    pub united_states_contexts: usize,
+    /// Documents containing the `/country` path (paper: 1577 of 1600).
+    pub country_documents: usize,
+    /// Documents containing the refugees country-of-origin path (paper: 186).
+    pub refugees_documents: usize,
+}
+
+/// Computes the Factbook text statistics over a collection.
+pub fn factbook_stats(collection: &Collection) -> FactbookStats {
+    let index = ContextIndex::build(collection, CountStorage::DocumentStore);
+    let us_paths = index.paths_matching(&FullTextQuery::phrase("United States"));
+    let freq = collection.path_document_frequency();
+    let country = collection.paths().get_str(collection.symbols(), "/country");
+    let refugees = collection
+        .paths()
+        .get_str(collection.symbols(), "/country/transnational_issues/refugees/country_of_origin");
+    FactbookStats {
+        documents: collection.len(),
+        distinct_paths: collection.distinct_path_count(),
+        united_states_contexts: us_paths.len(),
+        country_documents: country.map(|p| freq.get(&p).copied().unwrap_or(0)).unwrap_or(0),
+        refugees_documents: refugees.map(|p| freq.get(&p).copied().unwrap_or(0)).unwrap_or(0),
+    }
+}
+
+/// Builds a SEDA engine over a Factbook-like corpus of the given size.
+pub fn factbook_engine(countries: usize, years: usize) -> SedaEngine {
+    let collection = factbook::generate(&FactbookConfig::paper_scaled(countries, years))
+        .expect("generate factbook");
+    SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+        .expect("engine build")
+}
+
+/// The paper's Query 1.
+pub fn query1() -> SedaQuery {
+    SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+        .expect("query 1 parses")
+}
+
+/// Runs the full Query 1 pipeline (context refinement to import partners,
+/// complete results, star schema) and returns the build — the Figure 3
+/// artefact.
+pub fn run_query1_cube(engine: &SedaEngine) -> StarSchemaBuild {
+    let collection = engine.collection();
+    let query = query1();
+    let mut selections = ContextSelections::none();
+    let name = collection.paths().get_str(collection.symbols(), "/country/name");
+    let tc = collection
+        .paths()
+        .get_str(collection.symbols(), "/country/economy/import_partners/item/trade_country");
+    let pct = collection
+        .paths()
+        .get_str(collection.symbols(), "/country/economy/import_partners/item/percentage");
+    if let (Some(name), Some(tc), Some(pct)) = (name, tc, pct) {
+        selections.select(0, vec![name]);
+        selections.select(1, vec![tc]);
+        selections.select(2, vec![pct]);
+    }
+    let result = engine.complete_results(&query, &selections, &[]);
+    engine.build_star_schema(&result, &BuildOptions::default())
+}
+
+/// Renders the Figure 3(c) fact table (restricted to the United States rows
+/// for readability).
+pub fn render_query1_fact_table(build: &StarSchemaBuild, limit: usize) -> String {
+    let mut out = String::from("Fact table (import-trade-percentage): country, year, import-country, percentage\n");
+    if let Some(fact) = build.schema.fact("import-trade-percentage") {
+        for row in fact.rows.iter().filter(|r| r.dimensions[0] == "United States").take(limit) {
+            out.push_str(&format!(
+                "  {:<20} {:<6} {:<15} {}\n",
+                row.dimensions[0], row.dimensions[1], row.dimensions[2], row.measures[0]
+            ));
+        }
+        out.push_str(&format!("  ({} rows total)\n", fact.len()));
+    } else {
+        out.push_str("  <no fact table derived>\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_holds_at_small_scale() {
+        let rows = table1(0.1);
+        assert_eq!(rows.len(), 4);
+        let by_name = |n: &str| rows.iter().find(|r| r.dataset.contains(n)).unwrap().clone();
+        // RecipeML collapses to 3 dataguides at any scale.
+        assert_eq!(by_name("RecipeML").dataguides, 3);
+        // Google Base and Mondial reduce by an order of magnitude or more.
+        assert!(by_name("Google").dataguides * 10 <= by_name("Google").documents);
+        assert!(by_name("Mondial").dataguides * 10 <= by_name("Mondial").documents);
+        // The Factbook reduces far less (heterogeneous corpus).
+        let fb = by_name("Factbook");
+        assert!(fb.dataguides * 2 >= fb.documents / 10, "factbook stays heterogeneous");
+        let rendered = render_table1(&rows);
+        assert!(rendered.contains("RecipeML"));
+    }
+
+    #[test]
+    fn query1_cube_reproduces_fixed_facts() {
+        let engine = factbook_engine(20, 3);
+        let build = run_query1_cube(&engine);
+        let fact = build.schema.fact("import-trade-percentage").expect("fact table");
+        let rendered = render_query1_fact_table(&build, 50);
+        assert!(rendered.contains("China"));
+        assert!(fact.dimensions_form_key());
+    }
+
+    #[test]
+    fn factbook_stats_capture_the_long_tail() {
+        let collection =
+            factbook::generate(&FactbookConfig::paper_scaled(40, 3)).unwrap();
+        let stats = factbook_stats(&collection);
+        assert_eq!(stats.documents, 120);
+        assert!(stats.distinct_paths > 100);
+        assert!(stats.united_states_contexts >= 3);
+        assert!(stats.country_documents as f64 >= 0.9 * stats.documents as f64);
+        assert!(stats.refugees_documents < stats.documents / 2);
+    }
+}

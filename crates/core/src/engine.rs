@@ -1,0 +1,700 @@
+//! The SEDA execution engine (Fig. 4): top-k search unit, context summary
+//! generator, connection summary generator, complete result set generator and
+//! data cube processor, built over the storage and indexing substrates.
+
+use serde::{Deserialize, Serialize};
+
+use seda_datagraph::{shortest_path, DataGraph, GraphConfig};
+use seda_dataguide::{discover_connections, guide_links, Connection, DataGuideSet, DataGuideStats, GuideLink};
+use seda_olap::{BuildOptions, QueryResultTable, Registry, StarSchemaBuild, StarSchemaBuilder};
+use seda_textindex::{ContextIndex, CountStorage, FullTextQuery, NodeIndex};
+use seda_topk::{TermInput, TopKConfig, TopKResult, TopKSearcher};
+use seda_twigjoin::{evaluate_twig, Axis, TwigPattern};
+use seda_xmlstore::{Collection, NodeId, PathId};
+
+use crate::query::{ContextSpec, SedaQuery};
+use crate::summaries::{ContextBucket, ContextSelections, ContextSummary, ConnectionSummary};
+
+/// Configuration of the engine's indexes and algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Dataguide merge threshold (the paper uses 40%).
+    pub dataguide_threshold: f64,
+    /// Top-k search configuration.
+    pub topk: TopKConfig,
+    /// Data-graph construction configuration (ID/IDREF conventions,
+    /// value-based key specs).
+    pub graph: GraphConfig,
+    /// Count storage of the context index (Fig. 8 design choice).
+    pub count_storage: CountStorage,
+    /// Maximum number of hops considered when verifying connections in the
+    /// complete-result generator.
+    pub connection_max_depth: usize,
+    /// Upper bound on the number of complete-result tuples materialised by
+    /// the fallback graph-enumeration path.
+    pub complete_result_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            dataguide_threshold: 0.4,
+            topk: TopKConfig::default(),
+            graph: GraphConfig::default(),
+            count_storage: CountStorage::DocumentStore,
+            connection_max_depth: 12,
+            complete_result_limit: 500_000,
+        }
+    }
+}
+
+/// The SEDA engine: owns the collection, every index, the dataguide summary
+/// and the fact/dimension registry.
+pub struct SedaEngine {
+    collection: Collection,
+    node_index: NodeIndex,
+    context_index: ContextIndex,
+    graph: DataGraph,
+    guides: DataGuideSet,
+    links: Vec<GuideLink>,
+    registry: Registry,
+    config: EngineConfig,
+}
+
+impl SedaEngine {
+    /// Builds the engine: constructs the data graph, both full-text indexes
+    /// and the dataguide summary over the collection.
+    pub fn build(
+        collection: Collection,
+        registry: Registry,
+        config: EngineConfig,
+    ) -> seda_xmlstore::Result<Self> {
+        let graph = DataGraph::build(&collection, &config.graph);
+        let node_index = NodeIndex::build(&collection);
+        let context_index = ContextIndex::build(&collection, config.count_storage);
+        let guides = DataGuideSet::build(&collection, config.dataguide_threshold)?;
+        let links = guide_links(&collection, &graph, &guides);
+        Ok(SedaEngine { collection, node_index, context_index, graph, guides, links, registry, config })
+    }
+
+    /// The underlying collection.
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// The fact/dimension registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (users can define new facts and
+    /// dimensions during query processing).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The merged dataguide summary.
+    pub fn guides(&self) -> &DataGuideSet {
+        &self.guides
+    }
+
+    /// Inter-dataguide links.
+    pub fn guide_links(&self) -> &[GuideLink] {
+        &self.links
+    }
+
+    /// The node full-text index.
+    pub fn node_index(&self) -> &NodeIndex {
+        &self.node_index
+    }
+
+    /// The keyword→path context index.
+    pub fn context_index(&self) -> &ContextIndex {
+        &self.context_index
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Table 1 statistics of the dataguide summary.
+    pub fn dataguide_stats(&self) -> DataGuideStats {
+        self.guides.stats(self.collection.len())
+    }
+
+    /// Resolves the allowed paths of every term, combining the term's own
+    /// context spec with any user selection from the context summary.
+    fn term_inputs(&self, query: &SedaQuery, selections: &ContextSelections) -> Vec<TermInput> {
+        query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, term)| {
+                let allowed = match selections.for_term(i) {
+                    Some(paths) => Some(paths.to_vec()),
+                    None => term.context.allowed_paths(&self.collection),
+                };
+                match allowed {
+                    Some(paths) => TermInput::with_paths(term.search.clone(), paths),
+                    None => TermInput::new(term.search.clone()),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the top-k search unit for a query, honouring context selections.
+    pub fn top_k(&self, query: &SedaQuery, selections: &ContextSelections, k: usize) -> TopKResult {
+        let searcher = TopKSearcher::new(&self.collection, &self.node_index, &self.graph);
+        let mut config = self.config.topk.clone();
+        config.k = k;
+        searcher.search(&self.term_inputs(query, selections), &config)
+    }
+
+    /// Computes the context summary of a query (Sec. 5): one bucket per term
+    /// with all distinct paths the term appears in, across the whole
+    /// collection, sorted by absolute path frequency.
+    pub fn context_summary(&self, query: &SedaQuery) -> ContextSummary {
+        let mut buckets = Vec::with_capacity(query.terms.len());
+        for (i, term) in query.terms.iter().enumerate() {
+            let entries = match &term.context {
+                ContextSpec::Any => self.context_index.context_bucket(&term.search),
+                ContextSpec::Path(path) => {
+                    // Probe with the last tag name of the path in conjunction
+                    // with the search query.
+                    let tag = path.rsplit('/').next().unwrap_or_default();
+                    self.context_index.context_bucket_with_tag(&self.collection, &term.search, tag)
+                }
+                ContextSpec::Tag(tag) => {
+                    if tag.contains('*') {
+                        // Wildcard tag: fall back to filtering the plain
+                        // bucket by the allowed paths of the spec.
+                        let allowed = term.context.allowed_paths(&self.collection).unwrap_or_default();
+                        self.context_index
+                            .context_bucket(&term.search)
+                            .into_iter()
+                            .filter(|e| allowed.contains(&e.path))
+                            .collect()
+                    } else {
+                        self.context_index.context_bucket_with_tag(&self.collection, &term.search, tag)
+                    }
+                }
+                ContextSpec::Disjunction(_) => {
+                    let allowed = term.context.allowed_paths(&self.collection);
+                    let bucket = self.context_index.context_bucket(&term.search);
+                    match allowed {
+                        Some(paths) => bucket.into_iter().filter(|e| paths.contains(&e.path)).collect(),
+                        None => bucket,
+                    }
+                }
+            };
+            buckets.push(ContextBucket { term: i, label: term.label(), entries });
+        }
+        ContextSummary { buckets }
+    }
+
+    /// Computes the connection summary from a top-k result (Sec. 6): the
+    /// pairwise connections between matched nodes, abstracted to context
+    /// signatures, most frequent first.
+    pub fn connection_summary(&self, top_k: &TopKResult) -> ConnectionSummary {
+        let tuples = top_k.node_tuples();
+        let connections = discover_connections(
+            &self.collection,
+            &self.graph,
+            &tuples,
+            self.config.connection_max_depth,
+        );
+        ConnectionSummary { connections }
+    }
+
+    /// Computes the complete (non-top-k) result set R(q) for a refined query
+    /// (Sec. 7): every term restricted to its selected contexts, tuples
+    /// restricted to the selected connections.
+    pub fn complete_results(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        connections: &[Connection],
+    ) -> QueryResultTable {
+        let column_names = query.terms.iter().map(|t| t.label()).collect();
+        let mut table = QueryResultTable::new(column_names);
+
+        // Resolve the allowed paths of every term.
+        let term_paths: Vec<Vec<PathId>> = query
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, term)| match selections.for_term(i) {
+                Some(paths) => paths.to_vec(),
+                None => term
+                    .context
+                    .allowed_paths(&self.collection)
+                    .unwrap_or_else(|| self.paths_matching_search(&term.search)),
+            })
+            .collect();
+        if term_paths.iter().any(Vec::is_empty) {
+            return table;
+        }
+
+        // Enumerate one concrete context per term (usually a single
+        // combination once the user has refined her query) and evaluate a
+        // twig per combination; union the rows.
+        let mut combination = vec![0usize; term_paths.len()];
+        loop {
+            let chosen: Vec<PathId> =
+                combination.iter().enumerate().map(|(t, &i)| term_paths[t][i]).collect();
+            self.evaluate_combination(query, &chosen, connections, &mut table);
+
+            // Advance the mixed-radix counter.
+            let mut pos = 0;
+            loop {
+                if pos == combination.len() {
+                    // Deduplicate rows that different combinations may share.
+                    table.rows.sort();
+                    table.rows.dedup();
+                    return table;
+                }
+                combination[pos] += 1;
+                if combination[pos] < term_paths[pos].len() {
+                    break;
+                }
+                combination[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// All paths whose nodes can satisfy a search query (used when a term has
+    /// neither a context spec nor a selection).
+    fn paths_matching_search(&self, search: &FullTextQuery) -> Vec<PathId> {
+        self.context_index.context_bucket(search).into_iter().map(|e| e.path).collect()
+    }
+
+    /// Evaluates one concrete combination of per-term contexts via a twig
+    /// pattern (all contexts in one document tree) and appends the matching
+    /// rows to `table`, applying the connection filter.
+    fn evaluate_combination(
+        &self,
+        query: &SedaQuery,
+        chosen: &[PathId],
+        connections: &[Connection],
+        table: &mut QueryResultTable,
+    ) {
+        // All chosen contexts must share the same root label to form a single
+        // twig; otherwise fall back to graph enumeration.
+        let path_strings: Vec<String> =
+            chosen.iter().map(|&p| self.collection.path_string(p)).collect();
+        let roots: Vec<&str> = path_strings
+            .iter()
+            .map(|p| p.trim_start_matches('/').split('/').next().unwrap_or_default())
+            .collect();
+        let same_root = roots.windows(2).all(|w| w[0] == w[1]);
+
+        let rows: Vec<Vec<NodeId>> = if same_root {
+            self.twig_rows(query, &path_strings)
+        } else {
+            self.graph_rows(query, chosen)
+        };
+
+        for nodes in rows {
+            if !connections.is_empty() && !self.row_satisfies_connections(&nodes, connections) {
+                continue;
+            }
+            let row: Vec<(NodeId, PathId)> =
+                nodes.iter().zip(chosen.iter()).map(|(&n, &p)| (n, p)).collect();
+            table.rows.push(row);
+        }
+    }
+
+    /// Structural evaluation: builds one twig from the chosen context paths
+    /// (shared prefixes merged), attaches the term predicates and returns one
+    /// row per twig match, with columns in term order.
+    fn twig_rows(&self, query: &SedaQuery, path_strings: &[String]) -> Vec<Vec<NodeId>> {
+        // Build the pattern manually so we know which pattern node belongs to
+        // which term.
+        let root_label = path_strings[0].trim_start_matches('/').split('/').next().unwrap_or("");
+        if root_label.is_empty() {
+            return Vec::new();
+        }
+        let mut pattern = TwigPattern::with_root(root_label);
+        let mut term_nodes = Vec::with_capacity(path_strings.len());
+        for (term_idx, path) in path_strings.iter().enumerate() {
+            let mut current = pattern.root();
+            for label in path.trim_start_matches('/').split('/').skip(1) {
+                let existing = pattern.node(current).children.iter().copied().find(|&c| {
+                    pattern.node(c).label == label && pattern.node(c).axis == Axis::Child
+                });
+                current = match existing {
+                    Some(c) => c,
+                    None => pattern.add_child(current, label, Axis::Child),
+                };
+            }
+            pattern.set_output(current, true);
+            if !query.terms[term_idx].search.is_match_all() {
+                // Combine predicates if two terms map to the same pattern node.
+                let predicate = match pattern.node(current).predicate.clone() {
+                    Some(existing) => FullTextQuery::And(
+                        Box::new(existing),
+                        Box::new(query.terms[term_idx].search.clone()),
+                    ),
+                    None => query.terms[term_idx].search.clone(),
+                };
+                pattern.set_predicate(current, predicate);
+            }
+            term_nodes.push(current);
+        }
+
+        let matches = evaluate_twig(&self.collection, &pattern);
+        let columns: Vec<usize> = term_nodes
+            .iter()
+            .map(|&n| matches.column_of(n).unwrap_or(usize::MAX))
+            .collect();
+        if columns.iter().any(|&c| c == usize::MAX) {
+            return Vec::new();
+        }
+        matches.rows.iter().map(|row| columns.iter().map(|&c| row[c]).collect()).collect()
+    }
+
+    /// Fallback evaluation when the chosen contexts span different document
+    /// roots: per-term candidate nodes joined by data-graph connectivity.
+    fn graph_rows(&self, query: &SedaQuery, chosen: &[PathId]) -> Vec<Vec<NodeId>> {
+        let candidates: Vec<Vec<NodeId>> = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, &path)| {
+                self.node_index
+                    .evaluate_in_paths(&query.terms[i].search, &[path])
+                    .into_iter()
+                    .map(|s| s.node)
+                    .collect()
+            })
+            .collect();
+        if candidates.iter().any(Vec::is_empty) {
+            return Vec::new();
+        }
+        let mut rows: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for term_candidates in &candidates {
+            let mut next = Vec::new();
+            'outer: for row in &rows {
+                for &candidate in term_candidates {
+                    let mut extended = row.clone();
+                    extended.push(candidate);
+                    // Require connectivity with the partial tuple.
+                    if extended.len() == 1
+                        || seda_datagraph::is_connected(
+                            &self.graph,
+                            &self.collection,
+                            &extended,
+                            self.config.connection_max_depth,
+                        )
+                    {
+                        next.push(extended);
+                    }
+                    if next.len() >= self.config.complete_result_limit {
+                        break 'outer;
+                    }
+                }
+            }
+            rows = next;
+            if rows.is_empty() {
+                break;
+            }
+        }
+        rows
+    }
+
+    /// Checks the selected-connection constraint for one result row: every
+    /// pair of nodes whose contexts are the endpoints of some selected
+    /// connection must be related by one of the selected signatures.
+    fn row_satisfies_connections(&self, nodes: &[NodeId], connections: &[Connection]) -> bool {
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let (Ok(pa), Ok(pb)) =
+                    (self.collection.context(nodes[i]), self.collection.context(nodes[j]))
+                else {
+                    return false;
+                };
+                let relevant: Vec<&Connection> = connections
+                    .iter()
+                    .filter(|c| {
+                        (c.from_path == pa && c.to_path == pb)
+                            || (c.from_path == pb && c.to_path == pa)
+                    })
+                    .collect();
+                if relevant.is_empty() {
+                    continue;
+                }
+                let Some(hops) = shortest_path(
+                    &self.graph,
+                    &self.collection,
+                    nodes[i],
+                    nodes[j],
+                    self.config.connection_max_depth,
+                ) else {
+                    return false;
+                };
+                let mut signature = vec![pa];
+                for hop in &hops {
+                    match self.collection.context(hop.node) {
+                        Ok(p) => signature.push(p),
+                        Err(_) => return false,
+                    }
+                }
+                let reversed: Vec<PathId> = signature.iter().rev().copied().collect();
+                let matched = relevant
+                    .iter()
+                    .any(|c| c.signature == signature || c.signature == reversed);
+                if !matched {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Derives (and instantiates) the star schema for a complete result
+    /// (Sec. 7, steps 1–3).
+    pub fn build_star_schema(
+        &self,
+        result: &QueryResultTable,
+        options: &BuildOptions,
+    ) -> StarSchemaBuild {
+        StarSchemaBuilder::new(&self.collection, &self.registry).build(result, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::SedaQuery;
+    use seda_xmlstore::parse_collection;
+
+    fn engine() -> SedaEngine {
+        let collection = parse_collection(vec![
+            (
+                "us2006.xml",
+                r#"<country><name>United States</name><year>2006</year>
+                     <economy><GDP_ppp>12.31T</GDP_ppp><import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                       <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                     </import_partners>
+                     <export_partners>
+                       <item><trade_country>Canada</trade_country><percentage>23.4</percentage></item>
+                     </export_partners></economy></country>"#,
+            ),
+            (
+                "us2005.xml",
+                r#"<country><name>United States</name><year>2005</year>
+                     <economy><GDP_ppp>12.0T</GDP_ppp><import_partners>
+                       <item><trade_country>China</trade_country><percentage>13.8</percentage></item>
+                       <item><trade_country>Mexico</trade_country><percentage>10.3</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+            (
+                "mexico2003.xml",
+                r#"<country><name>Mexico</name><year>2003</year>
+                     <economy><GDP>924.4B</GDP><export_partners>
+                       <item><trade_country>United States</trade_country><percentage>70.6</percentage></item>
+                     </export_partners></economy></country>"#,
+            ),
+        ])
+        .unwrap();
+        SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+            .unwrap()
+    }
+
+    fn query1() -> SedaQuery {
+        SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+            .unwrap()
+    }
+
+    #[test]
+    fn context_summary_reports_contexts_for_each_term() {
+        let e = engine();
+        let summary = e.context_summary(&query1());
+        assert_eq!(summary.buckets.len(), 3);
+        // "United States" occurs as a country name and as an export partner.
+        let us_paths: Vec<String> = summary.buckets[0]
+            .entries
+            .iter()
+            .map(|p| e.collection().path_string(p.path))
+            .collect();
+        assert!(us_paths.contains(&"/country/name".to_string()));
+        assert!(us_paths
+            .contains(&"/country/economy/export_partners/item/trade_country".to_string()));
+        // trade_country occurs in two contexts (import and export partners).
+        assert_eq!(summary.buckets[1].entries.len(), 2);
+        // Frequencies are absolute and sorted descending.
+        let freqs: Vec<usize> = summary.buckets[1].entries.iter().map(|e| e.frequency).collect();
+        assert!(freqs[0] >= freqs[1]);
+    }
+
+    #[test]
+    fn top_k_and_connection_summary() {
+        let e = engine();
+        let q = query1();
+        let topk = e.top_k(&q, &ContextSelections::none(), 10);
+        assert!(!topk.tuples.is_empty());
+        let connections = e.connection_summary(&topk);
+        assert!(!connections.is_empty());
+        // The same-item trade_country ~ percentage connection must be among
+        // the discovered connections.
+        let c = e.collection();
+        let tc = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
+            .unwrap();
+        let pct = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
+            .unwrap();
+        assert!(!connections.between(tc, pct).is_empty());
+    }
+
+    #[test]
+    fn context_selection_restricts_topk_results() {
+        let e = engine();
+        let q = query1();
+        let c = e.collection();
+        let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
+        let mut selections = ContextSelections::none();
+        selections.select(0, vec![name]);
+        let topk = e.top_k(&q, &selections, 20);
+        for t in &topk.tuples {
+            assert_eq!(c.context_string(t.nodes[0]).unwrap(), "/country/name");
+        }
+    }
+
+    #[test]
+    fn complete_results_for_query1_import_refinement() {
+        let e = engine();
+        let q = query1();
+        let c = e.collection();
+        let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
+        let tc = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
+            .unwrap();
+        let pct = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
+            .unwrap();
+        let mut selections = ContextSelections::none();
+        selections.select(0, vec![name]);
+        selections.select(1, vec![tc]);
+        selections.select(2, vec![pct]);
+        let result = e.complete_results(&q, &selections, &[]);
+        // US 2006 has two import items, US 2005 has two: four rows in total
+        // (Mexico's document has no import partners and its name is not
+        // "United States").
+        assert_eq!(result.len(), 4);
+        for row in &result.rows {
+            let name_content = c.content(row[0].0).unwrap();
+            assert_eq!(name_content, "United States");
+        }
+    }
+
+    #[test]
+    fn connection_filter_excludes_cross_item_pairings() {
+        let e = engine();
+        let q = query1();
+        let c = e.collection();
+        let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
+        let tc = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
+            .unwrap();
+        let pct = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
+            .unwrap();
+        let mut selections = ContextSelections::none();
+        selections.select(0, vec![name]);
+        selections.select(1, vec![tc]);
+        selections.select(2, vec![pct]);
+        // Discover connections from the top-k and keep only the same-item one
+        // (length 2).
+        let topk = e.top_k(&q, &selections, 10);
+        let summary = e.connection_summary(&topk);
+        let same_item: Vec<Connection> = summary
+            .connections
+            .iter()
+            .filter(|conn| conn.from_path == tc && conn.to_path == pct && conn.length() == 2)
+            .cloned()
+            .collect();
+        assert!(!same_item.is_empty());
+        let result = e.complete_results(&q, &selections, &same_item);
+        assert_eq!(result.len(), 4);
+        for row in &result.rows {
+            let tc_node = row[1].0;
+            let pct_node = row[2].0;
+            let tc_parent = c.node(tc_node).unwrap().parent;
+            let pct_parent = c.node(pct_node).unwrap().parent;
+            assert_eq!(tc_parent, pct_parent, "connection filter must keep same-item pairs only");
+        }
+    }
+
+    #[test]
+    fn end_to_end_star_schema_matches_figure_3() {
+        let e = engine();
+        let q = query1();
+        let c = e.collection();
+        let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
+        let tc = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
+            .unwrap();
+        let pct = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
+            .unwrap();
+        let mut selections = ContextSelections::none();
+        selections.select(0, vec![name]);
+        selections.select(1, vec![tc]);
+        selections.select(2, vec![pct]);
+        let result = e.complete_results(&q, &selections, &[]);
+        let build = e.build_star_schema(&result, &BuildOptions::default());
+        let fact = build.schema.fact("import-trade-percentage").expect("fact table");
+        assert_eq!(fact.dimension_columns, vec!["country", "year", "import-country"]);
+        assert_eq!(fact.len(), 4);
+        assert!(fact.dimensions_form_key());
+    }
+
+    #[test]
+    fn dataguide_stats_report_merge_outcome() {
+        let e = engine();
+        let stats = e.dataguide_stats();
+        assert_eq!(stats.documents, 3);
+        assert!(stats.dataguides <= 3 && stats.dataguides >= 1);
+        assert!(stats.threshold > 0.39 && stats.threshold < 0.41);
+    }
+
+    #[test]
+    fn cross_root_queries_use_the_graph_fallback() {
+        // A query whose terms live in documents with different roots.
+        let collection = parse_collection(vec![
+            (
+                "us.xml",
+                r#"<country id="cty-us"><name>United States</name><population>298M</population></country>"#,
+            ),
+            (
+                "sea.xml",
+                r#"<sea id="sea-pac"><name>Pacific Ocean</name>
+                     <bordering country_idref="cty-us"/></sea>"#,
+            ),
+        ])
+        .unwrap();
+        let e = SedaEngine::build(collection, Registry::new(), EngineConfig::default()).unwrap();
+        let q = SedaQuery::parse(r#"(/country/name, *) AND (/sea/name, *)"#).unwrap();
+        let result = e.complete_results(&q, &ContextSelections::none(), &[]);
+        assert_eq!(result.len(), 1, "country and sea are connected via the IDREF edge");
+        let contents: Vec<String> =
+            result.rows[0].iter().map(|(n, _)| e.collection().content(*n).unwrap()).collect();
+        assert_eq!(contents, vec!["United States", "Pacific Ocean"]);
+    }
+}

@@ -1,0 +1,371 @@
+//! The SEDA query language (Sec. 3, Definition 3).
+//!
+//! A SEDA query is a set of *query terms* `(context, search_query)`.  The
+//! context component is empty, a root-to-leaf path, a tag-name keyword
+//! (wildcards allowed), or a disjunction of those; the search-query component
+//! is a full-text expression.  The textual form used by examples mirrors the
+//! paper's notation:
+//!
+//! ```text
+//! (*, "United States") AND (trade_country, *) AND (percentage, *)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use seda_textindex::{FullTextQuery, QueryParseError};
+use seda_xmlstore::{Collection, NodeId, PathId};
+
+/// The context component of a query term.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContextSpec {
+    /// Empty context (`*`): any node may satisfy the term.
+    Any,
+    /// A full root-to-leaf path in `/a/b/c` notation.
+    Path(String),
+    /// A tag-name keyword; `*` wildcards are allowed (e.g. `trade*`).
+    Tag(String),
+    /// A disjunction of paths and tag names.
+    Disjunction(Vec<ContextSpec>),
+}
+
+impl ContextSpec {
+    /// Parses the textual context component: `*` (any), `/a/b/c` (path),
+    /// `a|b` (disjunction), anything else (tag name, possibly with `*`
+    /// wildcards).
+    pub fn parse(input: &str) -> Self {
+        let trimmed = input.trim();
+        if trimmed.is_empty() || trimmed == "*" {
+            return ContextSpec::Any;
+        }
+        if trimmed.contains('|') {
+            return ContextSpec::Disjunction(
+                trimmed.split('|').map(|p| ContextSpec::parse(p)).collect(),
+            );
+        }
+        if trimmed.starts_with('/') {
+            ContextSpec::Path(trimmed.to_string())
+        } else {
+            ContextSpec::Tag(trimmed.to_string())
+        }
+    }
+
+    /// True when the spec places no restriction at all.
+    pub fn is_any(&self) -> bool {
+        matches!(self, ContextSpec::Any)
+    }
+
+    fn tag_matches(pattern: &str, name: &str) -> bool {
+        if !pattern.contains('*') {
+            return pattern == name;
+        }
+        // Simple glob: split on '*' and check the pieces appear in order,
+        // anchored at both ends.
+        let pieces: Vec<&str> = pattern.split('*').collect();
+        let mut rest = name;
+        for (i, piece) in pieces.iter().enumerate() {
+            if piece.is_empty() {
+                continue;
+            }
+            match rest.find(piece) {
+                Some(pos) => {
+                    if i == 0 && pos != 0 {
+                        return false;
+                    }
+                    rest = &rest[pos + piece.len()..];
+                }
+                None => return false,
+            }
+        }
+        if let Some(last) = pieces.last() {
+            if !last.is_empty() && !name.ends_with(last) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Definition 3(2): does a node with the given name and context satisfy
+    /// this context spec?
+    pub fn matches(&self, collection: &Collection, node: NodeId) -> bool {
+        match self {
+            ContextSpec::Any => true,
+            ContextSpec::Path(path) => collection
+                .context_string(node)
+                .map(|c| c == *path)
+                .unwrap_or(false),
+            ContextSpec::Tag(tag) => collection
+                .node_name(node)
+                .map(|n| Self::tag_matches(tag, n))
+                .unwrap_or(false),
+            ContextSpec::Disjunction(specs) => specs.iter().any(|s| s.matches(collection, node)),
+        }
+    }
+
+    /// The set of distinct paths this spec allows, or `None` for an
+    /// unrestricted spec.  Used to push context restrictions into the index.
+    pub fn allowed_paths(&self, collection: &Collection) -> Option<Vec<PathId>> {
+        match self {
+            ContextSpec::Any => None,
+            ContextSpec::Path(path) => Some(
+                collection
+                    .paths()
+                    .get_str(collection.symbols(), path)
+                    .map(|p| vec![p])
+                    .unwrap_or_default(),
+            ),
+            ContextSpec::Tag(tag) => Some(
+                collection
+                    .paths()
+                    .iter()
+                    .filter(|(_, p)| {
+                        p.leaf()
+                            .map(|leaf| {
+                                Self::tag_matches(tag, collection.symbols().resolve(leaf))
+                            })
+                            .unwrap_or(false)
+                    })
+                    .map(|(id, _)| id)
+                    .collect(),
+            ),
+            ContextSpec::Disjunction(specs) => {
+                let mut any_unrestricted = false;
+                let mut paths = Vec::new();
+                for s in specs {
+                    match s.allowed_paths(collection) {
+                        None => any_unrestricted = true,
+                        Some(p) => paths.extend(p),
+                    }
+                }
+                if any_unrestricted {
+                    None
+                } else {
+                    paths.sort();
+                    paths.dedup();
+                    Some(paths)
+                }
+            }
+        }
+    }
+}
+
+/// One query term: `(context, search_query)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTerm {
+    /// The context component.
+    pub context: ContextSpec,
+    /// The full-text search component.
+    pub search: FullTextQuery,
+}
+
+impl QueryTerm {
+    /// Creates a term from components.
+    pub fn new(context: ContextSpec, search: FullTextQuery) -> Self {
+        QueryTerm { context, search }
+    }
+
+    /// A human-readable label, used as column name in R(q).
+    pub fn label(&self) -> String {
+        let context = match &self.context {
+            ContextSpec::Any => "*".to_string(),
+            ContextSpec::Path(p) => p.clone(),
+            ContextSpec::Tag(t) => t.clone(),
+            ContextSpec::Disjunction(ds) => format!("{} alternatives", ds.len()),
+        };
+        let search = match &self.search {
+            FullTextQuery::Any => "*".to_string(),
+            FullTextQuery::Keywords(ks) => ks.join(" "),
+            FullTextQuery::Phrase(ps) => format!("\"{}\"", ps.join(" ")),
+            other => format!("{other:?}"),
+        };
+        format!("({context}, {search})")
+    }
+}
+
+/// A SEDA query: a set of query terms.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SedaQuery {
+    /// The query terms, in user order.
+    pub terms: Vec<QueryTerm>,
+}
+
+/// Errors from the query parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The overall `(ctx, search) AND …` structure was malformed.
+    Malformed(String),
+    /// A search-query component failed to parse.
+    Search(QueryParseError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Malformed(m) => write!(f, "malformed SEDA query: {m}"),
+            QueryError::Search(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl SedaQuery {
+    /// Builds a query from terms.
+    pub fn new(terms: Vec<QueryTerm>) -> Self {
+        SedaQuery { terms }
+    }
+
+    /// Parses the paper-style notation
+    /// `(context, search) AND (context, search) …` (the `∧` character is also
+    /// accepted).  The search component follows the
+    /// [`FullTextQuery::parse`] syntax.
+    pub fn parse(input: &str) -> Result<Self, QueryError> {
+        let normalised = input.replace('∧', "AND").replace('*', "*");
+        let mut terms = Vec::new();
+        let mut rest = normalised.trim();
+        while !rest.is_empty() {
+            if !rest.starts_with('(') {
+                return Err(QueryError::Malformed(format!("expected '(' at {rest:?}")));
+            }
+            let close = rest
+                .find(')')
+                .ok_or_else(|| QueryError::Malformed("missing ')'".to_string()))?;
+            let inside = &rest[1..close];
+            let comma = inside
+                .find(',')
+                .ok_or_else(|| QueryError::Malformed(format!("missing ',' in {inside:?}")))?;
+            let context = ContextSpec::parse(&inside[..comma]);
+            let search_text = inside[comma + 1..].trim();
+            let search = if search_text.is_empty() {
+                FullTextQuery::Any
+            } else {
+                FullTextQuery::parse(search_text).map_err(QueryError::Search)?
+            };
+            terms.push(QueryTerm::new(context, search));
+            rest = rest[close + 1..].trim();
+            if let Some(stripped) = rest.strip_prefix("AND") {
+                rest = stripped.trim();
+            } else if let Some(stripped) = rest.strip_prefix("and") {
+                rest = stripped.trim();
+            }
+        }
+        if terms.is_empty() {
+            return Err(QueryError::Malformed("no query terms".to_string()));
+        }
+        Ok(SedaQuery::new(terms))
+    }
+
+    /// Number of query terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the query has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_xmlstore::parse_collection;
+
+    #[test]
+    fn parses_query_1_notation() {
+        let q = SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+            .unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.terms[0].context, ContextSpec::Any);
+        assert_eq!(q.terms[0].search, FullTextQuery::phrase("United States"));
+        assert_eq!(q.terms[1].context, ContextSpec::Tag("trade_country".into()));
+        assert_eq!(q.terms[1].search, FullTextQuery::Any);
+    }
+
+    #[test]
+    fn parses_unicode_conjunction_and_paths() {
+        let q = SedaQuery::parse(r#"(/country/name, "Romania") ∧ (/country/year, 2006)"#).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.terms[0].context, ContextSpec::Path("/country/name".into()));
+        assert_eq!(q.terms[1].search, FullTextQuery::Keywords(vec!["2006".into()]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(SedaQuery::parse("").is_err());
+        assert!(SedaQuery::parse("country, Romania").is_err());
+        assert!(SedaQuery::parse("(country Romania)").is_err());
+        assert!(SedaQuery::parse("(country, \"unterminated)").is_err());
+    }
+
+    #[test]
+    fn context_spec_parsing() {
+        assert_eq!(ContextSpec::parse("*"), ContextSpec::Any);
+        assert_eq!(ContextSpec::parse(" /a/b "), ContextSpec::Path("/a/b".into()));
+        assert_eq!(ContextSpec::parse("trade_country"), ContextSpec::Tag("trade_country".into()));
+        match ContextSpec::parse("/a/b|name") {
+            ContextSpec::Disjunction(ds) => assert_eq!(ds.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn context_matching_against_nodes() {
+        let c = parse_collection(vec![(
+            "us.xml",
+            r#"<country><name>United States</name>
+                 <economy><import_partners><item>
+                   <trade_country>China</trade_country></item></import_partners></economy>
+               </country>"#,
+        )])
+        .unwrap();
+        let name_path = c.paths().get_str(c.symbols(), "/country/name").unwrap();
+        let name_node = c.nodes_with_path(name_path)[0];
+        assert!(ContextSpec::Any.matches(&c, name_node));
+        assert!(ContextSpec::Tag("name".into()).matches(&c, name_node));
+        assert!(ContextSpec::Tag("na*".into()).matches(&c, name_node));
+        assert!(!ContextSpec::Tag("trade_country".into()).matches(&c, name_node));
+        assert!(ContextSpec::Path("/country/name".into()).matches(&c, name_node));
+        assert!(!ContextSpec::Path("/country".into()).matches(&c, name_node));
+        assert!(ContextSpec::parse("/country/name|trade_country").matches(&c, name_node));
+    }
+
+    #[test]
+    fn allowed_paths_resolution() {
+        let c = parse_collection(vec![(
+            "us.xml",
+            r#"<country>
+                 <economy>
+                   <import_partners><item><trade_country>China</trade_country><percentage>15</percentage></item></import_partners>
+                   <export_partners><item><trade_country>Canada</trade_country><percentage>3</percentage></item></export_partners>
+                 </economy>
+               </country>"#,
+        )])
+        .unwrap();
+        assert!(ContextSpec::Any.allowed_paths(&c).is_none());
+        let tag = ContextSpec::Tag("trade_country".into());
+        assert_eq!(tag.allowed_paths(&c).unwrap().len(), 2);
+        let path = ContextSpec::Path("/country/economy/import_partners/item/percentage".into());
+        assert_eq!(path.allowed_paths(&c).unwrap().len(), 1);
+        let missing = ContextSpec::Path("/country/missing".into());
+        assert!(missing.allowed_paths(&c).unwrap().is_empty());
+        let disj = ContextSpec::parse("trade_country|percentage");
+        assert_eq!(disj.allowed_paths(&c).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn tag_wildcards() {
+        assert!(ContextSpec::tag_matches("trade*", "trade_country"));
+        assert!(ContextSpec::tag_matches("*country", "trade_country"));
+        assert!(ContextSpec::tag_matches("*ade*", "trade_country"));
+        assert!(!ContextSpec::tag_matches("trade", "trade_country"));
+        assert!(!ContextSpec::tag_matches("x*", "trade_country"));
+        assert!(ContextSpec::tag_matches("*", "anything"));
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let q = SedaQuery::parse(r#"(*, "United States") AND (percentage, *)"#).unwrap();
+        assert_eq!(q.terms[0].label(), "(*, \"united states\")");
+        assert_eq!(q.terms[1].label(), "(percentage, *)");
+    }
+}

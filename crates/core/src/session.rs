@@ -1,0 +1,316 @@
+//! The interactive exploration session (Fig. 6 control flow).
+//!
+//! A [`Session`] drives the paper's feedback loop programmatically, standing
+//! in for the GUI of Fig. 5/7:
+//!
+//! 1. submit a keyword-style query → top-k results + context summary,
+//! 2. optionally select contexts per term → top-k recomputed,
+//! 3. inspect the connection summary → optionally select connections,
+//! 4. compute the complete result set,
+//! 5. derive the star schema and aggregate it into cubes.
+
+use seda_dataguide::Connection;
+use seda_olap::{
+    aggregate, BuildOptions, CubeQuery, CubeResult, QueryResultTable, StarSchemaBuild,
+};
+use seda_topk::TopKResult;
+use seda_xmlstore::PathId;
+
+use crate::engine::SedaEngine;
+use crate::query::SedaQuery;
+use crate::summaries::{ContextSelections, ContextSummary, ConnectionSummary};
+
+/// Where the session currently stands in the Fig. 6 control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStage {
+    /// No query submitted yet.
+    Empty,
+    /// A query was submitted; top-k results and summaries are available.
+    Explored,
+    /// The complete result set has been materialised.
+    Materialized,
+    /// A star schema has been derived.
+    Analyzed,
+}
+
+/// One interactive exploration session over a [`SedaEngine`].
+pub struct Session<'a> {
+    engine: &'a SedaEngine,
+    query: Option<SedaQuery>,
+    selections: ContextSelections,
+    chosen_connections: Vec<Connection>,
+    top_k: Option<TopKResult>,
+    context_summary: Option<ContextSummary>,
+    connection_summary: Option<ConnectionSummary>,
+    complete: Option<QueryResultTable>,
+    star_schema: Option<StarSchemaBuild>,
+    k: usize,
+    stage: SessionStage,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session over an engine.
+    pub fn new(engine: &'a SedaEngine) -> Self {
+        Session {
+            engine,
+            query: None,
+            selections: ContextSelections::none(),
+            chosen_connections: Vec::new(),
+            top_k: None,
+            context_summary: None,
+            connection_summary: None,
+            complete: None,
+            star_schema: None,
+            k: engine.config().topk.k,
+            stage: SessionStage::Empty,
+        }
+    }
+
+    /// The engine the session runs over.
+    pub fn engine(&self) -> &SedaEngine {
+        self.engine
+    }
+
+    /// Current stage in the control flow.
+    pub fn stage(&self) -> SessionStage {
+        self.stage
+    }
+
+    /// Sets the number of top-k results to retrieve per iteration.
+    pub fn set_k(&mut self, k: usize) {
+        self.k = k.max(1);
+    }
+
+    /// Submits (or replaces) the query: computes top-k results, the context
+    /// summary and the connection summary.  Any earlier refinements are
+    /// cleared.
+    pub fn submit(&mut self, query: SedaQuery) -> &TopKResult {
+        self.selections = ContextSelections::none();
+        self.chosen_connections.clear();
+        self.complete = None;
+        self.star_schema = None;
+        self.context_summary = Some(self.engine.context_summary(&query));
+        let top_k = self.engine.top_k(&query, &self.selections, self.k);
+        self.connection_summary = Some(self.engine.connection_summary(&top_k));
+        self.top_k = Some(top_k);
+        self.query = Some(query);
+        self.stage = SessionStage::Explored;
+        self.top_k.as_ref().expect("just set")
+    }
+
+    /// Parses and submits a textual query.
+    pub fn submit_text(&mut self, query: &str) -> Result<&TopKResult, crate::query::QueryError> {
+        let parsed = SedaQuery::parse(query)?;
+        Ok(self.submit(parsed))
+    }
+
+    /// The current query, if any.
+    pub fn query(&self) -> Option<&SedaQuery> {
+        self.query.as_ref()
+    }
+
+    /// The latest top-k result.
+    pub fn top_k(&self) -> Option<&TopKResult> {
+        self.top_k.as_ref()
+    }
+
+    /// The context summary of the current query.
+    pub fn context_summary(&self) -> Option<&ContextSummary> {
+        self.context_summary.as_ref()
+    }
+
+    /// The connection summary of the latest top-k result.
+    pub fn connection_summary(&self) -> Option<&ConnectionSummary> {
+        self.connection_summary.as_ref()
+    }
+
+    /// The user's current context selections.
+    pub fn selections(&self) -> &ContextSelections {
+        &self.selections
+    }
+
+    /// Selects contexts for a query term and recomputes the top-k results and
+    /// the connection summary restricted to those contexts (the feedback loop
+    /// of Fig. 6).
+    pub fn select_contexts(&mut self, term: usize, paths: Vec<PathId>) -> Option<&TopKResult> {
+        let query = self.query.clone()?;
+        self.selections.select(term, paths);
+        let top_k = self.engine.top_k(&query, &self.selections, self.k);
+        self.connection_summary = Some(self.engine.connection_summary(&top_k));
+        self.top_k = Some(top_k);
+        self.complete = None;
+        self.star_schema = None;
+        self.stage = SessionStage::Explored;
+        self.top_k.as_ref()
+    }
+
+    /// Selects the connections that are relevant for the query.
+    pub fn select_connections(&mut self, connections: Vec<Connection>) {
+        self.chosen_connections = connections;
+        self.complete = None;
+        self.star_schema = None;
+    }
+
+    /// The currently selected connections.
+    pub fn chosen_connections(&self) -> &[Connection] {
+        &self.chosen_connections
+    }
+
+    /// Materialises the complete (non-top-k) result set for the refined
+    /// query.
+    pub fn complete_results(&mut self) -> Option<&QueryResultTable> {
+        let query = self.query.clone()?;
+        let result =
+            self.engine.complete_results(&query, &self.selections, &self.chosen_connections);
+        self.complete = Some(result);
+        self.stage = SessionStage::Materialized;
+        self.complete.as_ref()
+    }
+
+    /// The materialised complete result, if computed.
+    pub fn complete(&self) -> Option<&QueryResultTable> {
+        self.complete.as_ref()
+    }
+
+    /// Derives the star schema from the complete result (computing it first
+    /// if necessary).
+    pub fn build_cube(&mut self, options: &BuildOptions) -> Option<&StarSchemaBuild> {
+        if self.complete.is_none() {
+            self.complete_results()?;
+        }
+        let result = self.complete.as_ref()?;
+        let build = self.engine.build_star_schema(result, options);
+        self.star_schema = Some(build);
+        self.stage = SessionStage::Analyzed;
+        self.star_schema.as_ref()
+    }
+
+    /// The derived star schema, if built.
+    pub fn star_schema(&self) -> Option<&StarSchemaBuild> {
+        self.star_schema.as_ref()
+    }
+
+    /// Runs an aggregation over one fact table of the derived star schema.
+    pub fn aggregate(&self, fact_table: &str, query: &CubeQuery) -> Option<CubeResult> {
+        let schema = self.star_schema.as_ref()?;
+        let table = schema.schema.fact(fact_table)?;
+        aggregate(table, query).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use seda_olap::Registry;
+    use seda_xmlstore::parse_collection;
+
+    fn engine() -> SedaEngine {
+        let collection = parse_collection(vec![
+            (
+                "us2006.xml",
+                r#"<country><name>United States</name><year>2006</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                       <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+            (
+                "us2004.xml",
+                r#"<country><name>United States</name><year>2004</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>12.5</percentage></item>
+                       <item><trade_country>Mexico</trade_country><percentage>10.7</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+        ])
+        .unwrap();
+        SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn session_walks_the_figure_6_control_flow() {
+        let e = engine();
+        let mut session = Session::new(&e);
+        assert_eq!(session.stage(), SessionStage::Empty);
+
+        session
+            .submit_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+            .unwrap();
+        assert_eq!(session.stage(), SessionStage::Explored);
+        assert!(session.top_k().is_some());
+        assert!(session.context_summary().is_some());
+        assert!(session.connection_summary().is_some());
+
+        // Refine the first term to the country-name context.
+        let c = e.collection();
+        let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
+        session.select_contexts(0, vec![name]).unwrap();
+        assert_eq!(session.selections().len(), 1);
+
+        let complete = session.complete_results().unwrap();
+        assert_eq!(complete.len(), 4);
+        assert_eq!(session.stage(), SessionStage::Materialized);
+
+        let build = session.build_cube(&BuildOptions::default()).unwrap();
+        assert!(build.schema.fact("import-trade-percentage").is_some());
+        assert_eq!(session.stage(), SessionStage::Analyzed);
+
+        // Aggregate: average import percentage per partner.
+        let cube = session
+            .aggregate(
+                "import-trade-percentage",
+                &CubeQuery::sum(&["import-country"], "import-trade-percentage"),
+            )
+            .unwrap();
+        let china = cube.cell(&["China"]).unwrap();
+        assert!((china.value - (15.0 + 12.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resubmitting_clears_previous_refinements() {
+        let e = engine();
+        let mut session = Session::new(&e);
+        session.submit_text(r#"(percentage, *)"#).unwrap();
+        let c = e.collection();
+        let pct = c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
+            .unwrap();
+        session.select_contexts(0, vec![pct]);
+        assert!(!session.selections().is_empty());
+        session.submit_text(r#"(trade_country, *)"#).unwrap();
+        assert!(session.selections().is_empty());
+        assert!(session.complete().is_none());
+    }
+
+    #[test]
+    fn build_cube_materialises_results_if_needed() {
+        let e = engine();
+        let mut session = Session::new(&e);
+        session.submit_text(r#"(*, "China") AND (percentage, *)"#).unwrap();
+        assert!(session.complete().is_none());
+        let build = session.build_cube(&BuildOptions::default());
+        assert!(build.is_some());
+        assert!(session.complete().is_some());
+    }
+
+    #[test]
+    fn aggregate_requires_a_built_schema() {
+        let e = engine();
+        let session = Session::new(&e);
+        assert!(session
+            .aggregate("import-trade-percentage", &CubeQuery::sum(&[], "x"))
+            .is_none());
+    }
+
+    #[test]
+    fn set_k_bounds_topk_results() {
+        let e = engine();
+        let mut session = Session::new(&e);
+        session.set_k(1);
+        let topk = session.submit_text(r#"(trade_country, *)"#).unwrap();
+        assert_eq!(topk.tuples.len(), 1);
+    }
+}

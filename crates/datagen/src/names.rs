@@ -1,0 +1,553 @@
+//! Name pools shared by the synthetic corpus generators.
+//!
+//! The generators are deterministic given a seed; the pools below give the
+//! corpora realistic-looking vocabulary (country names, commodities, recipe
+//! ingredients, product categories) without shipping any of the original data.
+
+/// Country and territory names used by the Factbook- and Mondial-like
+/// generators.  "United States" and its Figure 1/3 trade partners are listed
+/// first so the worked example of the paper is always present.
+pub const COUNTRIES: &[&str] = &[
+    "United States",
+    "China",
+    "Canada",
+    "Mexico",
+    "Germany",
+    "Japan",
+    "United Kingdom",
+    "France",
+    "India",
+    "Italy",
+    "Brazil",
+    "South Korea",
+    "Russia",
+    "Australia",
+    "Spain",
+    "Indonesia",
+    "Netherlands",
+    "Saudi Arabia",
+    "Turkey",
+    "Switzerland",
+    "Poland",
+    "Belgium",
+    "Sweden",
+    "Ireland",
+    "Thailand",
+    "Nigeria",
+    "Austria",
+    "Israel",
+    "Norway",
+    "Argentina",
+    "Philippines",
+    "Egypt",
+    "Denmark",
+    "Malaysia",
+    "Singapore",
+    "Vietnam",
+    "Bangladesh",
+    "South Africa",
+    "Colombia",
+    "Chile",
+    "Finland",
+    "Romania",
+    "Czechia",
+    "Portugal",
+    "New Zealand",
+    "Peru",
+    "Greece",
+    "Iraq",
+    "Ukraine",
+    "Hungary",
+    "Morocco",
+    "Kuwait",
+    "Slovakia",
+    "Ecuador",
+    "Kenya",
+    "Ethiopia",
+    "Sri Lanka",
+    "Dominican Republic",
+    "Guatemala",
+    "Oman",
+    "Myanmar",
+    "Luxembourg",
+    "Panama",
+    "Ghana",
+    "Bulgaria",
+    "Croatia",
+    "Tanzania",
+    "Belarus",
+    "Costa Rica",
+    "Uruguay",
+    "Lithuania",
+    "Serbia",
+    "Slovenia",
+    "Uzbekistan",
+    "Azerbaijan",
+    "Jordan",
+    "Tunisia",
+    "Cameroon",
+    "Bolivia",
+    "Paraguay",
+    "Latvia",
+    "Estonia",
+    "Nepal",
+    "Cambodia",
+    "Iceland",
+    "Senegal",
+    "Honduras",
+    "Zimbabwe",
+    "Zambia",
+    "Bosnia",
+    "Botswana",
+    "Albania",
+    "Malta",
+    "Mongolia",
+    "Armenia",
+    "Georgia",
+    "Jamaica",
+    "Namibia",
+    "Macedonia",
+    "Moldova",
+    "Madagascar",
+    "Mali",
+    "Mozambique",
+    "Laos",
+    "Kyrgyzstan",
+    "Tajikistan",
+    "Haiti",
+    "Rwanda",
+    "Benin",
+    "Niger",
+    "Guinea",
+    "Chad",
+    "Somalia",
+    "Togo",
+    "Eritrea",
+    "Fiji",
+    "Bhutan",
+    "Maldives",
+    "Belize",
+    "Vanuatu",
+    "Samoa",
+    "Tonga",
+    "Kiribati",
+    "Palau",
+    "Nauru",
+    "Tuvalu",
+    "Andorra",
+    "Monaco",
+    "Liechtenstein",
+    "San Marino",
+    "Qatar",
+    "Bahrain",
+    "Cyprus",
+    "Lebanon",
+    "Syria",
+    "Yemen",
+    "Afghanistan",
+    "Pakistan",
+    "Iran",
+    "Algeria",
+    "Libya",
+    "Sudan",
+    "Angola",
+    "Gabon",
+    "Congo",
+    "Uganda",
+    "Malawi",
+    "Lesotho",
+    "Swaziland",
+    "Gambia",
+    "Liberia",
+    "Mauritania",
+    "Mauritius",
+    "Seychelles",
+    "Comoros",
+    "Djibouti",
+    "Burundi",
+    "Barbados",
+    "Bahamas",
+    "Grenada",
+    "Dominica",
+    "Suriname",
+    "Guyana",
+    "Nicaragua",
+    "El Salvador",
+    "Trinidad",
+    "Cuba",
+    "North Korea",
+    "Taiwan",
+    "Hong Kong",
+    "Macau",
+    "Greenland",
+    "Bermuda",
+    "Gibraltar",
+    "Aruba",
+    "Curacao",
+    "Martinique",
+    "Guadeloupe",
+    "Reunion",
+    "Mayotte",
+    "New Caledonia",
+    "French Polynesia",
+    "Guam",
+    "Puerto Rico",
+    "American Samoa",
+    "Cook Islands",
+    "Niue",
+    "Tokelau",
+    "Pitcairn",
+    "Falkland Islands",
+    "Saint Helena",
+    "Montserrat",
+    "Anguilla",
+    "Cayman Islands",
+    "Turks and Caicos",
+    "British Virgin Islands",
+    "US Virgin Islands",
+    "Northern Mariana Islands",
+    "Marshall Islands",
+    "Micronesia",
+    "Solomon Islands",
+    "Papua New Guinea",
+    "Timor-Leste",
+    "Brunei",
+    "Cape Verde",
+    "Sao Tome",
+    "Equatorial Guinea",
+    "Guinea-Bissau",
+    "Sierra Leone",
+    "Ivory Coast",
+    "Burkina Faso",
+    "Central African Republic",
+    "South Sudan",
+    "Western Sahara",
+    "Kosovo",
+    "Montenegro",
+    "Vatican City",
+    "Antarctica",
+    "Svalbard",
+    "Faroe Islands",
+    "Isle of Man",
+    "Jersey",
+    "Guernsey",
+    "Saint Lucia",
+    "Saint Vincent",
+    "Saint Kitts",
+    "Antigua",
+    "Wallis and Futuna",
+    "Norfolk Island",
+    "Christmas Island",
+    "Cocos Islands",
+    "Akrotiri",
+    "Dhekelia",
+    "Jan Mayen",
+    "Bouvet Island",
+    "Heard Island",
+    "Clipperton Island",
+    "Coral Sea Islands",
+    "Ashmore and Cartier",
+    "Navassa Island",
+    "Wake Island",
+    "Midway Islands",
+    "Johnston Atoll",
+    "Baker Island",
+    "Howland Island",
+    "Jarvis Island",
+    "Kingman Reef",
+    "Palmyra Atoll",
+    "Paracel Islands",
+    "Spratly Islands",
+    "Gaza Strip",
+    "West Bank",
+    "Turkmenistan",
+    "Kazakhstan",
+    "Slovak Republic",
+    "Channel Islands",
+    "Saint Pierre",
+    "Sint Maarten",
+    "Bonaire",
+    "Saba",
+    "Sint Eustatius",
+    "Saint Barthelemy",
+    "Saint Martin",
+    "Aland Islands",
+    "Galapagos",
+    "Zanzibar",
+    "Sardinia",
+    "Sicily",
+    "Corsica",
+    "Crete",
+    "Balearic Islands",
+    "Canary Islands",
+    "Madeira",
+    "Azores",
+    "Hainan",
+    "Okinawa",
+    "Hokkaido",
+    "Tasmania",
+    "Patagonia",
+    "Yukon",
+    "Nunavut",
+    "Alaska",
+    "Hawaii",
+    "Scotland",
+    "Wales",
+    "Northern Ireland",
+    "England",
+    "Catalonia",
+    "Bavaria",
+    "Flanders",
+    "Wallonia",
+    "Quebec",
+    "Ontario",
+];
+
+/// Seas and oceans used by the Mondial-like generator (Fig. 1 of the paper
+/// shows `sea` nodes such as "Pacific Ocean" and "China sea").
+pub const SEAS: &[&str] = &[
+    "Pacific Ocean",
+    "Atlantic Ocean",
+    "Indian Ocean",
+    "Arctic Ocean",
+    "China Sea",
+    "Mediterranean Sea",
+    "Caribbean Sea",
+    "Baltic Sea",
+    "North Sea",
+    "Black Sea",
+    "Red Sea",
+    "Caspian Sea",
+    "Bering Sea",
+    "Coral Sea",
+    "Tasman Sea",
+    "Sea of Japan",
+    "Yellow Sea",
+    "Arabian Sea",
+    "Bay of Bengal",
+    "Gulf of Mexico",
+    "Persian Gulf",
+    "Adriatic Sea",
+    "Aegean Sea",
+    "Andaman Sea",
+    "Barents Sea",
+    "Beaufort Sea",
+    "Celebes Sea",
+    "Chukchi Sea",
+    "East Siberian Sea",
+    "Greenland Sea",
+    "Hudson Bay",
+    "Ionian Sea",
+    "Irish Sea",
+    "Java Sea",
+    "Kara Sea",
+    "Labrador Sea",
+    "Laptev Sea",
+    "Norwegian Sea",
+    "Philippine Sea",
+    "Ross Sea",
+    "Sargasso Sea",
+    "Scotia Sea",
+    "Sea of Okhotsk",
+    "Solomon Sea",
+    "South China Sea",
+    "Sulu Sea",
+    "Timor Sea",
+    "Weddell Sea",
+];
+
+/// Rivers for the Mondial-like generator.
+pub const RIVERS: &[&str] = &[
+    "Amazon", "Nile", "Yangtze", "Mississippi", "Yenisei", "Yellow River", "Ob", "Parana",
+    "Congo River", "Amur", "Lena", "Mekong", "Mackenzie", "Niger River", "Murray", "Tocantins",
+    "Volga", "Indus", "Euphrates", "Madeira", "Purus", "Yukon River", "Rio Grande", "Brahmaputra",
+    "Danube", "Zambezi", "Tigris", "Orinoco", "Ganges", "Salween", "Vilyuy", "Colorado",
+];
+
+/// International organizations for the Mondial-like generator.
+pub const ORGANIZATIONS: &[&str] = &[
+    "United Nations",
+    "World Trade Organization",
+    "European Union",
+    "African Union",
+    "NATO",
+    "OPEC",
+    "ASEAN",
+    "Mercosur",
+    "Arab League",
+    "Commonwealth of Nations",
+    "OECD",
+    "World Health Organization",
+    "International Monetary Fund",
+    "World Bank",
+    "Interpol",
+    "Caricom",
+    "Organization of American States",
+    "Pacific Islands Forum",
+    "Gulf Cooperation Council",
+    "Shanghai Cooperation Organisation",
+];
+
+/// Commodity names for import/export listings.
+pub const COMMODITIES: &[&str] = &[
+    "machinery", "crude oil", "electronics", "vehicles", "pharmaceuticals", "textiles", "grain",
+    "steel", "aluminum", "coffee", "natural gas", "coal", "timber", "fish", "plastics",
+    "chemicals", "aircraft", "semiconductors", "copper", "gold", "diamonds", "cotton", "sugar",
+    "beef", "soybeans", "wine", "cheese", "rubber", "paper", "cement",
+];
+
+/// Industry names for the economy section.
+pub const INDUSTRIES: &[&str] = &[
+    "petroleum", "steel", "motor vehicles", "aerospace", "telecommunications", "chemicals",
+    "electronics", "food processing", "consumer goods", "lumber", "mining", "textiles",
+    "shipbuilding", "tourism", "banking", "software", "pharmaceuticals", "agriculture",
+    "fishing", "construction",
+];
+
+/// Language names for the people section.
+pub const LANGUAGES: &[&str] = &[
+    "English", "Mandarin", "Spanish", "Hindi", "Arabic", "Portuguese", "Bengali", "Russian",
+    "Japanese", "German", "French", "Italian", "Korean", "Turkish", "Vietnamese", "Tamil",
+    "Urdu", "Swahili", "Dutch", "Polish", "Thai", "Greek", "Czech", "Swedish", "Hungarian",
+];
+
+/// Religion names for the people section.
+pub const RELIGIONS: &[&str] = &[
+    "Christian", "Muslim", "Hindu", "Buddhist", "Jewish", "Sikh", "folk religion", "unaffiliated",
+];
+
+/// Climate descriptions for the geography section.
+pub const CLIMATES: &[&str] = &[
+    "temperate", "tropical", "arid", "continental", "polar", "mediterranean", "subtropical",
+    "oceanic", "monsoon", "alpine",
+];
+
+/// Terrain descriptions for the geography section.
+pub const TERRAINS: &[&str] = &[
+    "mountains", "plains", "plateau", "desert", "rainforest", "tundra", "rolling hills",
+    "coastal lowlands", "islands", "river valleys",
+];
+
+/// Natural resources for the geography section.
+pub const RESOURCES: &[&str] = &[
+    "coal", "petroleum", "natural gas", "iron ore", "copper", "gold", "uranium", "bauxite",
+    "timber", "fish", "arable land", "hydropower", "rare earth elements", "nickel", "zinc",
+    "phosphates", "diamonds", "silver", "lithium", "cobalt",
+];
+
+/// Continents / regions.
+pub const REGIONS: &[&str] = &[
+    "North America",
+    "South America",
+    "Europe",
+    "Asia",
+    "Africa",
+    "Oceania",
+    "Middle East",
+    "Central America",
+    "Caribbean",
+    "Central Asia",
+];
+
+/// Google-Base-like product categories.  Each category becomes one flat,
+/// regular schema variant (the paper reports a reduction from 10000 documents
+/// to 88 dataguides, i.e. roughly one dataguide per category).
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "laptops", "phones", "cameras", "televisions", "headphones", "monitors", "printers",
+    "tablets", "keyboards", "mice", "routers", "speakers", "watches", "bicycles", "tents",
+    "backpacks", "shoes", "jackets", "jeans", "shirts", "dresses", "sofas", "tables", "chairs",
+    "lamps", "rugs", "mattresses", "blenders", "toasters", "microwaves", "refrigerators",
+    "dishwashers", "vacuums", "drills", "saws", "hammers", "ladders", "paints", "books",
+    "board games", "puzzles", "dolls", "action figures", "guitars", "keyboards_music", "drums",
+    "violins", "basketballs", "soccer balls", "tennis rackets", "golf clubs", "skis",
+    "snowboards", "kayaks", "surfboards", "fishing rods", "grills", "patio sets", "planters",
+    "mowers", "trimmers", "car tires", "car batteries", "motor oil", "wipers", "car seats",
+    "strollers", "cribs", "diapers", "dog food", "cat food", "bird cages", "aquariums",
+    "vitamins", "protein powder", "yoga mats", "dumbbells", "treadmills", "perfume", "shampoo",
+    "toothbrushes", "razors", "coffee makers", "espresso machines", "kettles", "cookware",
+    "knives", "cutting boards",
+];
+
+/// Attribute names that vary per Google-Base category.
+pub const PRODUCT_ATTRIBUTES: &[&str] = &[
+    "brand", "model", "color", "weight", "condition", "price", "quantity", "upc", "mpn",
+    "size", "material", "warranty", "rating", "shipping_weight", "country_of_origin",
+];
+
+/// Recipe names for the RecipeML-like generator.
+pub const RECIPES: &[&str] = &[
+    "Pancakes", "Chicken Curry", "Beef Stew", "Vegetable Soup", "Apple Pie", "Chocolate Cake",
+    "Caesar Salad", "Spaghetti Carbonara", "Fish Tacos", "Pad Thai", "Lasagna", "Banana Bread",
+    "French Onion Soup", "Ratatouille", "Paella", "Goulash", "Falafel", "Hummus", "Sushi Rolls",
+    "Pho", "Ramen", "Burritos", "Enchiladas", "Pot Roast", "Meatloaf", "Clam Chowder",
+    "Shepherds Pie", "Quiche Lorraine", "Crepes", "Waffles", "Brownies", "Cheesecake",
+    "Tiramisu", "Gazpacho", "Minestrone", "Risotto", "Gnocchi", "Pierogi", "Moussaka",
+    "Baklava", "Churros", "Empanadas", "Samosas", "Biryani", "Tandoori Chicken", "Jambalaya",
+    "Gumbo", "Cornbread", "Biscuits", "Granola",
+];
+
+/// Ingredients for the RecipeML-like generator.
+pub const INGREDIENTS: &[&str] = &[
+    "flour", "sugar", "salt", "butter", "eggs", "milk", "olive oil", "onion", "garlic",
+    "tomato", "chicken", "beef", "pork", "rice", "pasta", "potato", "carrot", "celery",
+    "pepper", "basil", "oregano", "thyme", "cumin", "paprika", "cinnamon", "vanilla",
+    "chocolate", "cream", "cheese", "lemon", "lime", "ginger", "soy sauce", "vinegar",
+    "honey", "yeast", "baking powder", "cilantro", "parsley", "mushroom",
+];
+
+/// Units of measure for recipe ingredient quantities.
+pub const UNITS: &[&str] = &["cup", "tablespoon", "teaspoon", "gram", "ounce", "pound", "ml", "piece"];
+
+/// Deterministic pseudo-random helper: picks an element of `pool` by index.
+pub fn pick<'a>(pool: &'a [&'a str], index: usize) -> &'a str {
+    pool[index % pool.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn united_states_and_its_partners_lead_the_country_pool() {
+        assert_eq!(COUNTRIES[0], "United States");
+        assert!(COUNTRIES.contains(&"China"));
+        assert!(COUNTRIES.contains(&"Canada"));
+        assert!(COUNTRIES.contains(&"Mexico"));
+        assert!(COUNTRIES.contains(&"Philippines"), "Fig. 1 mentions the Philippines");
+    }
+
+    #[test]
+    fn country_pool_is_large_enough_for_factbook_scale() {
+        // 267 countries x 6 years = 1602 documents (paper: 1600).
+        assert!(COUNTRIES.len() >= 267, "have {}", COUNTRIES.len());
+    }
+
+    #[test]
+    fn country_names_are_unique() {
+        let mut sorted: Vec<&str> = COUNTRIES.to_vec();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(before, sorted.len(), "duplicate country names in pool");
+    }
+
+    #[test]
+    fn product_categories_match_google_base_dataguide_scale() {
+        // Paper: 10000 Google Base documents reduce to 88 dataguides; the
+        // number of categories bounds the number of dataguides.
+        assert!(PRODUCT_CATEGORIES.len() >= 80 && PRODUCT_CATEGORIES.len() <= 96);
+    }
+
+    #[test]
+    fn pick_wraps_around() {
+        assert_eq!(pick(UNITS, 0), "cup");
+        assert_eq!(pick(UNITS, UNITS.len()), "cup");
+        assert_eq!(pick(UNITS, 1), "tablespoon");
+    }
+
+    #[test]
+    fn seas_include_figure_1_examples() {
+        assert!(SEAS.contains(&"Pacific Ocean"));
+        assert!(SEAS.contains(&"China Sea"));
+    }
+}

@@ -1,0 +1,319 @@
+//! The SEDA data graph (Definition 2).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use seda_xmlstore::{Collection, NodeId, NodeKind};
+
+use crate::config::GraphConfig;
+
+/// Kind of an edge in the data graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Parent/child relationship within a document (includes attributes).
+    ParentChild,
+    /// IDREF attribute referencing an ID attribute.
+    IdRef,
+    /// XLink/XPointer reference.
+    XLink,
+    /// Value-based (primary-key / foreign-key) relationship.
+    ValueBased,
+}
+
+/// A directed cross-document or intra-document non-tree edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Relationship kind.
+    pub kind: EdgeKind,
+}
+
+/// The data graph: parent/child edges are implicit in the documents; IDREF,
+/// XLink and value-based edges are materialised here (in both directions, so
+/// traversal can treat the graph as undirected, as the paper's connectedness
+/// definition does).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct DataGraph {
+    /// Non-tree adjacency, symmetric: every edge is stored under both
+    /// endpoints.
+    cross_edges: HashMap<NodeId, Vec<(NodeId, EdgeKind)>>,
+    edge_count: usize,
+    id_nodes: usize,
+    idref_nodes: usize,
+    value_pairs: usize,
+}
+
+impl DataGraph {
+    /// Builds the data graph over a collection.
+    ///
+    /// * IDREF/XLink edges connect the *element owning* the referencing
+    ///   attribute to the *element owning* the referenced ID attribute.
+    /// * Value-based edges connect the nodes named by the configured
+    ///   [`crate::config::ValueKeySpec`]s whenever their contents are equal.
+    pub fn build(collection: &Collection, config: &GraphConfig) -> Self {
+        let mut graph = DataGraph::default();
+
+        // Pass 1: collect ID values -> owning element.
+        let mut id_map: HashMap<String, NodeId> = HashMap::new();
+        for doc in collection.documents() {
+            for (_ordinal, node) in doc.iter() {
+                if node.kind != NodeKind::Attribute {
+                    continue;
+                }
+                let name = collection.symbols().resolve(node.name);
+                if config.is_id_attribute(name) {
+                    if let (Some(value), Some(parent)) = (node.text.as_deref(), node.parent) {
+                        id_map.insert(value.trim().to_string(), NodeId::new(doc.id, parent));
+                        graph.id_nodes += 1;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: IDREF / XLink edges.
+        for doc in collection.documents() {
+            for (_, node) in doc.iter() {
+                if node.kind != NodeKind::Attribute {
+                    continue;
+                }
+                let name = collection.symbols().resolve(node.name);
+                let kind = if config.is_idref_attribute(name) {
+                    Some(EdgeKind::IdRef)
+                } else if config.is_xlink_attribute(name) {
+                    Some(EdgeKind::XLink)
+                } else {
+                    None
+                };
+                let Some(kind) = kind else { continue };
+                graph.idref_nodes += 1;
+                let Some(parent) = node.parent else { continue };
+                let Some(value) = node.text.as_deref() else { continue };
+                // XLink values may carry a fragment (`doc.xml#id`); use the
+                // fragment if present.
+                let key = value.rsplit('#').next().unwrap_or(value).trim();
+                if let Some(&target) = id_map.get(key) {
+                    graph.add_edge(NodeId::new(doc.id, parent), target, kind);
+                }
+            }
+        }
+
+        // Pass 3: value-based edges.
+        for spec in &config.value_keys {
+            let Some(primary) = collection.paths().get_str(collection.symbols(), &spec.primary_path)
+            else {
+                continue;
+            };
+            let Some(foreign) = collection.paths().get_str(collection.symbols(), &spec.foreign_path)
+            else {
+                continue;
+            };
+            let mut primary_values: HashMap<String, Vec<NodeId>> = HashMap::new();
+            for node in collection.nodes_with_path(primary) {
+                if let Ok(content) = collection.content(node) {
+                    primary_values.entry(content).or_default().push(node);
+                }
+            }
+            for node in collection.nodes_with_path(foreign) {
+                let Ok(content) = collection.content(node) else { continue };
+                if let Some(targets) = primary_values.get(&content) {
+                    for &target in targets {
+                        if target != node {
+                            graph.add_edge(node, target, EdgeKind::ValueBased);
+                            graph.value_pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        graph
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        self.cross_edges.entry(from).or_default().push((to, kind));
+        self.cross_edges.entry(to).or_default().push((from, kind));
+        self.edge_count += 1;
+    }
+
+    /// Number of distinct non-tree edges (each counted once).
+    pub fn cross_edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of ID attribute instances seen.
+    pub fn id_attribute_count(&self) -> usize {
+        self.id_nodes
+    }
+
+    /// Number of IDREF/XLink attribute instances seen.
+    pub fn reference_attribute_count(&self) -> usize {
+        self.idref_nodes
+    }
+
+    /// Non-tree neighbours of a node.
+    pub fn cross_neighbors(&self, node: NodeId) -> &[(NodeId, EdgeKind)] {
+        self.cross_edges.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All neighbours of a node: parent, children (tree edges from the
+    /// document), plus non-tree edges.
+    pub fn neighbors(&self, collection: &Collection, node: NodeId) -> Vec<(NodeId, EdgeKind)> {
+        let mut out = Vec::new();
+        if let Ok(doc) = collection.document(node.doc) {
+            if let Ok(n) = doc.node(node.node) {
+                if let Some(parent) = n.parent {
+                    out.push((NodeId::new(node.doc, parent), EdgeKind::ParentChild));
+                }
+                for &child in &n.children {
+                    out.push((NodeId::new(node.doc, child), EdgeKind::ParentChild));
+                }
+            }
+        }
+        out.extend(self.cross_neighbors(node).iter().copied());
+        out
+    }
+
+    /// All materialised non-tree edges, each reported once (from < to).
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for (&from, targets) in &self.cross_edges {
+            for &(to, kind) in targets {
+                if from < to {
+                    out.push(Edge { from, to, kind });
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.from, e.to));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ValueKeySpec;
+    use seda_xmlstore::parse_collection;
+
+    fn mondial_like() -> Collection {
+        parse_collection(vec![
+            (
+                "sea.xml",
+                r#"<sea id="sea-1"><name>Pacific Ocean</name>
+                     <bordering country_idref="cty-us"/>
+                     <bordering country_idref="cty-ph"/>
+                   </sea>"#,
+            ),
+            (
+                "us.xml",
+                r#"<country id="cty-us"><name>United States</name>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                     </import_partners></economy>
+                   </country>"#,
+            ),
+            (
+                "ph.xml",
+                r#"<country id="cty-ph"><name>Philippines</name></country>"#,
+            ),
+            (
+                "china.xml",
+                r#"<country id="cty-cn"><name>China</name>
+                     <link href="cty-us"/>
+                   </country>"#,
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn idref_edges_link_referencing_and_referenced_elements() {
+        let c = mondial_like();
+        let g = DataGraph::build(&c, &GraphConfig::default());
+        // Two bordering -> country edges plus one XLink edge.
+        assert_eq!(g.cross_edge_count(), 3);
+        let kinds: Vec<EdgeKind> = g.edges().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == EdgeKind::IdRef).count(), 2);
+        assert_eq!(kinds.iter().filter(|k| **k == EdgeKind::XLink).count(), 1);
+    }
+
+    #[test]
+    fn idref_edges_are_symmetric_for_traversal() {
+        let c = mondial_like();
+        let g = DataGraph::build(&c, &GraphConfig::default());
+        for edge in g.edges() {
+            assert!(g.cross_neighbors(edge.from).iter().any(|(n, _)| *n == edge.to));
+            assert!(g.cross_neighbors(edge.to).iter().any(|(n, _)| *n == edge.from));
+        }
+    }
+
+    #[test]
+    fn dangling_references_produce_no_edges() {
+        let c = parse_collection(vec![(
+            "a.xml",
+            r#"<root><child thing_idref="does-not-exist"/></root>"#,
+        )])
+        .unwrap();
+        let g = DataGraph::build(&c, &GraphConfig::default());
+        assert_eq!(g.cross_edge_count(), 0);
+        assert_eq!(g.reference_attribute_count(), 1);
+    }
+
+    #[test]
+    fn value_based_edges_link_equal_contents() {
+        let c = mondial_like();
+        let config = GraphConfig::with_value_keys(vec![ValueKeySpec::new(
+            "/country/name",
+            "/country/economy/import_partners/item/trade_country",
+        )]);
+        let g = DataGraph::build(&c, &config);
+        let value_edges: Vec<Edge> =
+            g.edges().into_iter().filter(|e| e.kind == EdgeKind::ValueBased).collect();
+        // The US import partner "China" links to the China country's name.
+        assert_eq!(value_edges.len(), 1);
+        let contents: Vec<String> = vec![
+            c.content(value_edges[0].from).unwrap(),
+            c.content(value_edges[0].to).unwrap(),
+        ];
+        assert!(contents.iter().all(|s| s == "China"));
+    }
+
+    #[test]
+    fn value_spec_with_unknown_path_is_ignored() {
+        let c = mondial_like();
+        let config =
+            GraphConfig::with_value_keys(vec![ValueKeySpec::new("/nowhere", "/country/name")]);
+        let g = DataGraph::build(&c, &config);
+        assert!(g.edges().iter().all(|e| e.kind != EdgeKind::ValueBased));
+    }
+
+    #[test]
+    fn neighbors_combine_tree_and_cross_edges() {
+        let c = mondial_like();
+        let g = DataGraph::build(&c, &GraphConfig::default());
+        // The US country element (doc 1, root node 0): parent none, children
+        // (id attr, name, economy), plus 1 IdRef edge from the sea bordering.
+        let us_root = NodeId::new(seda_xmlstore::DocId(1), 0);
+        let neighbors = g.neighbors(&c, us_root);
+        let tree: usize =
+            neighbors.iter().filter(|(_, k)| *k == EdgeKind::ParentChild).count();
+        let cross: usize =
+            neighbors.iter().filter(|(_, k)| *k != EdgeKind::ParentChild).count();
+        assert_eq!(tree, 3);
+        assert_eq!(cross, 2, "bordering IdRef + XLink from China");
+    }
+
+    #[test]
+    fn edge_listing_reports_each_edge_once() {
+        let c = mondial_like();
+        let g = DataGraph::build(&c, &GraphConfig::default());
+        let edges = g.edges();
+        assert_eq!(edges.len(), g.cross_edge_count());
+        for e in &edges {
+            assert!(e.from < e.to);
+        }
+    }
+}

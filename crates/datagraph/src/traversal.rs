@@ -1,0 +1,337 @@
+//! Graph traversal: shortest paths, connectedness of result tuples, and the
+//! compactness measure used by the top-k scoring function.
+//!
+//! Definition 4 of the paper requires a query result tuple `<n1 … nm>` to be
+//! witnessed by a *connected* subgraph of the data graph, and Sec. 4 scores
+//! tuples by "the compactness of the graph representing a tuple of nodes":
+//! smaller connecting subgraphs are better.  Computing the minimal connecting
+//! subtree (a Steiner tree) is NP-hard in general, so — like every practical
+//! system — we approximate it with a minimum spanning tree over the pairwise
+//! shortest-path distances of the tuple's nodes.
+
+use std::collections::{HashMap, VecDeque};
+
+use seda_xmlstore::{Collection, NodeId};
+
+use crate::graph::{DataGraph, EdgeKind};
+
+/// A hop on a connection path between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Node reached by this hop.
+    pub node: NodeId,
+    /// Edge kind used to reach it.
+    pub kind: EdgeKind,
+}
+
+/// Result of a bounded breadth-first search from one node.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// Distance (number of edges) from the source to each reached node.
+    pub distances: HashMap<NodeId, usize>,
+    /// Predecessor of each reached node (for path reconstruction).
+    pub predecessors: HashMap<NodeId, Hop>,
+}
+
+/// Breadth-first search from `source`, following tree and non-tree edges,
+/// bounded by `max_depth` hops.
+pub fn bfs(
+    graph: &DataGraph,
+    collection: &Collection,
+    source: NodeId,
+    max_depth: usize,
+) -> BfsResult {
+    let mut distances = HashMap::new();
+    let mut predecessors = HashMap::new();
+    let mut queue = VecDeque::new();
+    distances.insert(source, 0usize);
+    queue.push_back(source);
+    while let Some(current) = queue.pop_front() {
+        let depth = distances[&current];
+        if depth >= max_depth {
+            continue;
+        }
+        for (next, kind) in graph.neighbors(collection, current) {
+            if !distances.contains_key(&next) {
+                distances.insert(next, depth + 1);
+                predecessors.insert(next, Hop { node: current, kind });
+                queue.push_back(next);
+            }
+        }
+    }
+    BfsResult { distances, predecessors }
+}
+
+/// Shortest-path distance between two nodes (number of edges), bounded by
+/// `max_depth`; `None` when no path exists within the bound.
+pub fn shortest_distance(
+    graph: &DataGraph,
+    collection: &Collection,
+    a: NodeId,
+    b: NodeId,
+    max_depth: usize,
+) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let result = bfs(graph, collection, a, max_depth);
+    result.distances.get(&b).copied()
+}
+
+/// Shortest path between two nodes as the sequence of intermediate hops
+/// (excluding `a`, including `b`), bounded by `max_depth`.
+pub fn shortest_path(
+    graph: &DataGraph,
+    collection: &Collection,
+    a: NodeId,
+    b: NodeId,
+    max_depth: usize,
+) -> Option<Vec<Hop>> {
+    if a == b {
+        return Some(Vec::new());
+    }
+    let result = bfs(graph, collection, a, max_depth);
+    result.distances.get(&b)?;
+    let mut path = Vec::new();
+    let mut current = b;
+    while current != a {
+        let hop = result.predecessors.get(&current)?;
+        path.push(Hop { node: current, kind: hop.kind });
+        current = hop.node;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Pairwise shortest-path distances for a tuple of nodes.  Entry `(i, j)` is
+/// `None` when nodes `i` and `j` are not connected within `max_depth`.
+pub fn pairwise_distances(
+    graph: &DataGraph,
+    collection: &Collection,
+    nodes: &[NodeId],
+    max_depth: usize,
+) -> Vec<Vec<Option<usize>>> {
+    let mut matrix = vec![vec![None; nodes.len()]; nodes.len()];
+    for (i, &a) in nodes.iter().enumerate() {
+        let result = bfs(graph, collection, a, max_depth);
+        for (j, &b) in nodes.iter().enumerate() {
+            matrix[i][j] = result.distances.get(&b).copied();
+        }
+    }
+    matrix
+}
+
+/// True when the tuple of nodes is connected in the data graph (every pair is
+/// mutually reachable within `max_depth` hops).  This is the witness
+/// requirement of Definition 4.
+pub fn is_connected(
+    graph: &DataGraph,
+    collection: &Collection,
+    nodes: &[NodeId],
+    max_depth: usize,
+) -> bool {
+    if nodes.len() <= 1 {
+        return true;
+    }
+    // Reachability from the first node suffices (the graph is undirected for
+    // traversal purposes).
+    let result = bfs(graph, collection, nodes[0], max_depth);
+    nodes.iter().all(|n| result.distances.contains_key(n))
+}
+
+/// Size (total edge count) of an approximate minimal connecting subtree of the
+/// tuple: a minimum spanning tree over the pairwise shortest-path distances.
+/// `None` when the tuple is not connected within `max_depth`.
+pub fn connecting_tree_size(
+    graph: &DataGraph,
+    collection: &Collection,
+    nodes: &[NodeId],
+    max_depth: usize,
+) -> Option<usize> {
+    match nodes.len() {
+        0 => return Some(0),
+        1 => return Some(0),
+        _ => {}
+    }
+    let distances = pairwise_distances(graph, collection, nodes, max_depth);
+    // Prim's algorithm over the complete terminal graph.
+    let n = nodes.len();
+    let mut in_tree = vec![false; n];
+    let mut best = vec![usize::MAX; n];
+    best[0] = 0;
+    let mut total = 0usize;
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !in_tree[i])
+            .min_by_key(|&i| best[i])
+            .expect("at least one node outside the tree");
+        if best[next] == usize::MAX {
+            return None; // disconnected
+        }
+        in_tree[next] = true;
+        total += best[next];
+        for other in 0..n {
+            if in_tree[other] {
+                continue;
+            }
+            if let Some(d) = distances[next][other] {
+                if d < best[other] {
+                    best[other] = d;
+                }
+            }
+        }
+    }
+    Some(total)
+}
+
+/// The compactness score of a tuple: `1 / (1 + size of the approximate
+/// connecting subtree)`.  Tuples that are not connected within `max_depth`
+/// score 0 and should be discarded by callers.
+pub fn compactness(
+    graph: &DataGraph,
+    collection: &Collection,
+    nodes: &[NodeId],
+    max_depth: usize,
+) -> f64 {
+    match connecting_tree_size(graph, collection, nodes, max_depth) {
+        Some(size) => 1.0 / (1.0 + size as f64),
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GraphConfig;
+    use seda_xmlstore::{parse_collection, DocId};
+
+    fn setup() -> (Collection, DataGraph) {
+        let c = parse_collection(vec![
+            (
+                "us.xml",
+                r#"<country id="cty-us"><name>United States</name>
+                     <economy>
+                       <import_partners>
+                         <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                         <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                       </import_partners>
+                     </economy>
+                   </country>"#,
+            ),
+            (
+                "sea.xml",
+                r#"<sea id="sea-pac"><name>Pacific Ocean</name>
+                     <bordering country_idref="cty-us"/>
+                   </sea>"#,
+            ),
+            ("island.xml", r#"<island id="isl-1"><name>Lonely Island</name></island>"#),
+        ])
+        .unwrap();
+        let g = DataGraph::build(&c, &GraphConfig::default());
+        (c, g)
+    }
+
+    fn find(c: &Collection, path: &str, content: &str) -> NodeId {
+        let pid = c.paths().get_str(c.symbols(), path).unwrap();
+        c.nodes_with_path(pid)
+            .into_iter()
+            .find(|&n| c.content(n).unwrap() == content)
+            .unwrap()
+    }
+
+    #[test]
+    fn sibling_leaves_are_two_hops_apart() {
+        let (c, g) = setup();
+        let china = find(&c, "/country/economy/import_partners/item/trade_country", "China");
+        let pct15 = find(&c, "/country/economy/import_partners/item/percentage", "15");
+        assert_eq!(shortest_distance(&g, &c, china, pct15, 10), Some(2));
+        // China and the *other* item's percentage are four hops apart.
+        let pct169 = find(&c, "/country/economy/import_partners/item/percentage", "16.9");
+        assert_eq!(shortest_distance(&g, &c, china, pct169, 10), Some(4));
+    }
+
+    #[test]
+    fn cross_document_paths_use_idref_edges() {
+        let (c, g) = setup();
+        let us_name = find(&c, "/country/name", "United States");
+        let sea_name = find(&c, "/sea/name", "Pacific Ocean");
+        // name -> country -(IdRef via bordering)-> ... -> sea -> name
+        let d = shortest_distance(&g, &c, us_name, sea_name, 10).unwrap();
+        assert_eq!(d, 4);
+        let path = shortest_path(&g, &c, us_name, sea_name, 10).unwrap();
+        assert_eq!(path.len(), d);
+        assert!(path.iter().any(|h| h.kind == EdgeKind::IdRef));
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_path() {
+        let (c, g) = setup();
+        let us_name = find(&c, "/country/name", "United States");
+        let island = find(&c, "/island/name", "Lonely Island");
+        assert_eq!(shortest_distance(&g, &c, us_name, island, 12), None);
+        assert!(!is_connected(&g, &c, &[us_name, island], 12));
+        assert_eq!(compactness(&g, &c, &[us_name, island], 12), 0.0);
+    }
+
+    #[test]
+    fn max_depth_bounds_the_search() {
+        let (c, g) = setup();
+        let us_name = find(&c, "/country/name", "United States");
+        let sea_name = find(&c, "/sea/name", "Pacific Ocean");
+        assert_eq!(shortest_distance(&g, &c, us_name, sea_name, 2), None);
+        assert_eq!(shortest_distance(&g, &c, us_name, sea_name, 4), Some(4));
+    }
+
+    #[test]
+    fn connected_tuples_and_compactness() {
+        let (c, g) = setup();
+        let china = find(&c, "/country/economy/import_partners/item/trade_country", "China");
+        let pct15 = find(&c, "/country/economy/import_partners/item/percentage", "15");
+        let pct169 = find(&c, "/country/economy/import_partners/item/percentage", "16.9");
+        let us_name = find(&c, "/country/name", "United States");
+
+        assert!(is_connected(&g, &c, &[us_name, china, pct15], 10));
+        // The tighter tuple (China with its own percentage sibling) is more
+        // compact than the mismatched tuple (China with Canada's percentage).
+        let tight = compactness(&g, &c, &[us_name, china, pct15], 10);
+        let loose = compactness(&g, &c, &[us_name, china, pct169], 10);
+        assert!(tight > loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn singleton_and_empty_tuples_are_trivially_connected() {
+        let (c, g) = setup();
+        let us_name = find(&c, "/country/name", "United States");
+        assert!(is_connected(&g, &c, &[us_name], 1));
+        assert!(is_connected(&g, &c, &[], 1));
+        assert_eq!(connecting_tree_size(&g, &c, &[us_name], 1), Some(0));
+        assert_eq!(connecting_tree_size(&g, &c, &[], 1), Some(0));
+        assert_eq!(compactness(&g, &c, &[us_name], 1), 1.0);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_self_path() {
+        let (c, g) = setup();
+        let us_name = find(&c, "/country/name", "United States");
+        assert_eq!(shortest_path(&g, &c, us_name, us_name, 5), Some(vec![]));
+        let root = NodeId::new(DocId(0), 0);
+        let p = shortest_path(&g, &c, us_name, root, 5).unwrap();
+        assert_eq!(p.last().unwrap().node, root);
+    }
+
+    #[test]
+    fn pairwise_distances_matrix_is_symmetric() {
+        let (c, g) = setup();
+        let china = find(&c, "/country/economy/import_partners/item/trade_country", "China");
+        let pct15 = find(&c, "/country/economy/import_partners/item/percentage", "15");
+        let us_name = find(&c, "/country/name", "United States");
+        let nodes = [us_name, china, pct15];
+        let m = pairwise_distances(&g, &c, &nodes, 10);
+        for i in 0..3 {
+            assert_eq!(m[i][i], Some(0));
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! # seda-olap
+//!
+//! The OLAP side of SEDA (Sec. 7): relative XML keys, the fact/dimension
+//! registry, matching of query-result columns to facts and dimensions,
+//! key-column augmentation, extraction of fact and dimension tables (the
+//! derived star schema), and a small in-memory cube engine providing the
+//! aggregation functionality the paper delegates to an off-the-shelf OLAP
+//! tool.
+//!
+//! ```
+//! use seda_olap::{aggregate, CubeQuery, FactRow, FactTable};
+//!
+//! let table = FactTable {
+//!     name: "pct".into(),
+//!     dimension_columns: vec!["country".into()],
+//!     measure_columns: vec!["pct".into()],
+//!     rows: vec![FactRow { dimensions: vec!["China".into()], measures: vec!["15".into()] }],
+//! };
+//! let cube = aggregate(&table, &CubeQuery::sum(&["country"], "pct")).unwrap();
+//! assert_eq!(cube.cell(&["China"]).unwrap().value, 15.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cube;
+pub mod key;
+pub mod schema;
+pub mod table;
+
+pub use builder::{
+    define_from_column, match_result, merge_fact_tables, BuildOptions, ColumnMatch,
+    MatchingOutcome, StarSchemaBuild, StarSchemaBuilder,
+};
+pub use cube::{aggregate, rollup, AggFn, CubeCell, CubeError, CubeQuery, CubeResult};
+pub use key::{KeyPart, KeyValues, KeyViolation, RelativeKey};
+pub use schema::{ContextEntry, Registry, SchemaDef, SchemaRole};
+pub use table::{
+    describe_row, parse_numeric, DimensionTable, FactRow, FactTable, QueryResultTable, StarSchema,
+};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::cube::{aggregate, AggFn, CubeQuery};
+    use crate::table::{FactRow, FactTable};
+
+    fn table_from(rows: &[(u8, u8, f64)]) -> FactTable {
+        FactTable {
+            name: "m".into(),
+            dimension_columns: vec!["a".into(), "b".into()],
+            measure_columns: vec!["m".into()],
+            rows: rows
+                .iter()
+                .map(|(a, b, v)| FactRow {
+                    dimensions: vec![format!("a{a}"), format!("b{b}")],
+                    measures: vec![format!("{v}")],
+                })
+                .collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Group-by sums partition the grand total: summing the per-group sums
+        /// equals the ungrouped sum, for any grouping dimension.
+        #[test]
+        fn group_sums_partition_the_total(rows in proptest::collection::vec((0u8..4, 0u8..4, -100.0f64..100.0), 1..30)) {
+            let table = table_from(&rows);
+            let total = aggregate(&table, &CubeQuery::sum(&[], "m")).unwrap().cells[0].value;
+            for dim in ["a", "b"] {
+                let grouped = aggregate(&table, &CubeQuery::sum(&[dim], "m")).unwrap();
+                let sum: f64 = grouped.cells.iter().map(|c| c.value).sum();
+                prop_assert!((sum - total).abs() < 1e-6);
+            }
+        }
+
+        /// Count cells always sum to the number of rows, and min <= avg <= max
+        /// within every group.
+        #[test]
+        fn count_and_ordering_invariants(rows in proptest::collection::vec((0u8..4, 0u8..4, -100.0f64..100.0), 1..30)) {
+            let table = table_from(&rows);
+            let counts = aggregate(&table, &CubeQuery::sum(&["a"], "m").with_agg(AggFn::Count)).unwrap();
+            let total: f64 = counts.cells.iter().map(|c| c.value).sum();
+            prop_assert_eq!(total as usize, rows.len());
+            let avg = aggregate(&table, &CubeQuery::sum(&["a"], "m").with_agg(AggFn::Avg)).unwrap();
+            let min = aggregate(&table, &CubeQuery::sum(&["a"], "m").with_agg(AggFn::Min)).unwrap();
+            let max = aggregate(&table, &CubeQuery::sum(&["a"], "m").with_agg(AggFn::Max)).unwrap();
+            for cell in &avg.cells {
+                let coord: Vec<&str> = cell.coordinates.iter().map(String::as_str).collect();
+                let lo = min.cell(&coord).unwrap().value;
+                let hi = max.cell(&coord).unwrap().value;
+                prop_assert!(lo <= cell.value + 1e-9 && cell.value <= hi + 1e-9);
+            }
+        }
+
+        /// Slicing on a dimension value never yields more cells than the
+        /// unsliced aggregation, and every sliced cell exists unsliced.
+        #[test]
+        fn slicing_is_a_restriction(rows in proptest::collection::vec((0u8..4, 0u8..4, 0.0f64..100.0), 1..30), pick in 0u8..4) {
+            let table = table_from(&rows);
+            let all = aggregate(&table, &CubeQuery::sum(&["b"], "m")).unwrap();
+            let sliced = aggregate(&table, &CubeQuery::sum(&["b"], "m").filter("a", &format!("a{pick}"))).unwrap();
+            prop_assert!(sliced.len() <= all.len());
+            for cell in &sliced.cells {
+                let coord: Vec<&str> = cell.coordinates.iter().map(String::as_str).collect();
+                prop_assert!(all.cell(&coord).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Inverted index over node content.
+//!
+//! This is the index the top-k search unit (Sec. 4) reads: for every node that
+//! carries text, the index stores a posting per term with term frequency and
+//! positions.  It supports the two access paths the Threshold Algorithm needs:
+//!
+//! * **sorted access** — per-term posting lists ordered by descending content
+//!   score, and
+//! * **random access** — scoring an arbitrary `(query, node)` pair.
+//!
+//! Matches are attributed to the node that *directly* contains the text (the
+//! deepest element or attribute), mirroring the paper's examples where
+//! `"United States"` hits `country` and `trade_country` nodes rather than
+//! every ancestor up to the document root.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use seda_xmlstore::{Collection, NodeId, PathId};
+
+use crate::query::FullTextQuery;
+use crate::tokenize::{terms, tokenize};
+
+/// One posting: a node containing a term.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Posting {
+    /// Node containing the term.
+    pub node: NodeId,
+    /// Number of occurrences of the term in the node's direct text.
+    pub tf: u32,
+    /// Token positions of the occurrences (for phrase verification).
+    pub positions: Vec<u32>,
+}
+
+/// A node matched by a query, with its content score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredNode {
+    /// The matching node.
+    pub node: NodeId,
+    /// Content score (tf-idf, length-normalised); higher is better.
+    pub score: f64,
+}
+
+/// Inverted full-text index over the direct text content of nodes.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct NodeIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    /// Tokenised direct text of every indexed node (random access / phrase
+    /// verification).
+    node_tokens: HashMap<NodeId, Vec<String>>,
+    /// Context path of every indexed node (context filtering).
+    node_paths: HashMap<NodeId, PathId>,
+    indexed_nodes: usize,
+}
+
+impl NodeIndex {
+    /// Builds the index over every node of the collection that has direct
+    /// text content (elements with text and attributes).
+    pub fn build(collection: &Collection) -> Self {
+        let mut index = NodeIndex::default();
+        for doc in collection.documents() {
+            for (ordinal, node) in doc.iter() {
+                let Some(text) = node.text.as_deref() else { continue };
+                let tokens = tokenize(text);
+                if tokens.is_empty() {
+                    continue;
+                }
+                let node_id = NodeId::new(doc.id, ordinal);
+                let mut tfs: HashMap<&str, (u32, Vec<u32>)> = HashMap::new();
+                for token in &tokens {
+                    let entry = tfs.entry(token.text.as_str()).or_insert((0, Vec::new()));
+                    entry.0 += 1;
+                    entry.1.push(token.position);
+                }
+                for (term, (tf, positions)) in tfs {
+                    index
+                        .postings
+                        .entry(term.to_string())
+                        .or_default()
+                        .push(Posting { node: node_id, tf, positions });
+                }
+                index
+                    .node_tokens
+                    .insert(node_id, tokens.into_iter().map(|t| t.text).collect());
+                index.node_paths.insert(node_id, node.path);
+                index.indexed_nodes += 1;
+            }
+        }
+        // Postings are built in document order because documents are visited
+        // in order; keep them sorted by node id for deterministic iteration.
+        for postings in index.postings.values_mut() {
+            postings.sort_by_key(|p| p.node);
+        }
+        index
+    }
+
+    /// Number of nodes with indexed content.
+    pub fn indexed_node_count(&self) -> usize {
+        self.indexed_nodes
+    }
+
+    /// Number of distinct terms in the index.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency of a term (number of nodes containing it).
+    pub fn document_frequency(&self, term: &str) -> usize {
+        self.postings.get(term).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Inverse document frequency with the usual smoothing.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.document_frequency(term);
+        ((1.0 + self.indexed_nodes as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// The context path of an indexed node.
+    pub fn node_path(&self, node: NodeId) -> Option<PathId> {
+        self.node_paths.get(&node).copied()
+    }
+
+    /// The tokenised direct text of an indexed node.
+    pub fn node_tokens(&self, node: NodeId) -> Option<&[String]> {
+        self.node_tokens.get(&node).map(Vec::as_slice)
+    }
+
+    /// tf-idf content score of a single term for a node, length-normalised.
+    fn term_score(&self, term: &str, node: NodeId, tf: u32) -> f64 {
+        let len = self.node_tokens.get(&node).map(Vec::len).unwrap_or(1).max(1) as f64;
+        (tf as f64) * self.idf(term) / len.sqrt()
+    }
+
+    /// Content score of `query` for `node`, or `None` when the node does not
+    /// satisfy the query (random access for the Threshold Algorithm).
+    pub fn score(&self, query: &FullTextQuery, node: NodeId) -> Option<f64> {
+        let tokens = self.node_tokens.get(&node)?;
+        if !query.matches_tokens(tokens) {
+            return None;
+        }
+        Some(self.score_unchecked(query, node, tokens))
+    }
+
+    fn score_unchecked(&self, query: &FullTextQuery, node: NodeId, tokens: &[String]) -> f64 {
+        let positive = query.positive_terms();
+        if positive.is_empty() {
+            // Match-all queries (`*`): every node scores equally; use a small
+            // constant so structural compactness dominates the combined score.
+            return 1.0 / (tokens.len() as f64).sqrt().max(1.0);
+        }
+        positive
+            .iter()
+            .map(|term| {
+                let tf = tokens.iter().filter(|t| *t == term).count() as u32;
+                if tf == 0 {
+                    0.0
+                } else {
+                    self.term_score(term, node, tf)
+                }
+            })
+            .sum()
+    }
+
+    /// All nodes satisfying the query, scored, in descending score order
+    /// (ties broken by node id for determinism).
+    pub fn evaluate(&self, query: &FullTextQuery) -> Vec<ScoredNode> {
+        self.evaluate_filtered(query, |_| true)
+    }
+
+    /// Like [`NodeIndex::evaluate`] but restricted to nodes whose context path
+    /// satisfies `allowed` (used after the user picks contexts in the context
+    /// summary).
+    pub fn evaluate_in_paths(&self, query: &FullTextQuery, allowed: &[PathId]) -> Vec<ScoredNode> {
+        self.evaluate_filtered(query, |path| allowed.contains(&path))
+    }
+
+    fn evaluate_filtered<F>(&self, query: &FullTextQuery, mut path_ok: F) -> Vec<ScoredNode>
+    where
+        F: FnMut(PathId) -> bool,
+    {
+        let candidates: Vec<NodeId> = if query.is_match_all() || query.positive_terms().is_empty()
+        {
+            // Match-all or pure-negation queries must consider every indexed
+            // node.
+            let mut nodes: Vec<NodeId> = self.node_tokens.keys().copied().collect();
+            nodes.sort();
+            nodes
+        } else {
+            let mut nodes: Vec<NodeId> = query
+                .positive_terms()
+                .iter()
+                .filter_map(|t| self.postings.get(t))
+                .flat_map(|ps| ps.iter().map(|p| p.node))
+                .collect();
+            nodes.sort();
+            nodes.dedup();
+            nodes
+        };
+
+        let mut scored: Vec<ScoredNode> = candidates
+            .into_iter()
+            .filter(|node| self.node_paths.get(node).map(|&p| path_ok(p)).unwrap_or(false))
+            .filter_map(|node| {
+                let tokens = self.node_tokens.get(&node)?;
+                if query.matches_tokens(tokens) {
+                    Some(ScoredNode { node, score: self.score_unchecked(query, node, tokens) })
+                } else {
+                    None
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.node.cmp(&b.node))
+        });
+        scored
+    }
+
+    /// Per-term sorted access for the Threshold Algorithm: postings of `term`
+    /// ordered by descending single-term score.
+    pub fn sorted_access(&self, term: &str) -> Vec<ScoredNode> {
+        let Some(postings) = self.postings.get(term) else { return Vec::new() };
+        let mut scored: Vec<ScoredNode> = postings
+            .iter()
+            .map(|p| ScoredNode { node: p.node, score: self.term_score(term, p.node, p.tf) })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.node.cmp(&b.node))
+        });
+        scored
+    }
+
+    /// Convenience wrapper: evaluate a keyword string.
+    pub fn search(&self, keywords: &str) -> Vec<ScoredNode> {
+        self.evaluate(&FullTextQuery::Keywords(terms(keywords)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_xmlstore::parse_collection;
+
+    fn sample() -> (Collection, NodeIndex) {
+        let docs = vec![
+            (
+                "us.xml",
+                r#"<country><name>United States</name><year>2006</year>
+                   <economy><GDP_ppp>12.31T</GDP_ppp>
+                     <import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                       <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                     </import_partners>
+                   </economy></country>"#,
+            ),
+            (
+                "mexico.xml",
+                r#"<country><name>Mexico</name><year>2003</year>
+                   <economy><GDP>924.4B</GDP>
+                     <export_partners>
+                       <item><trade_country>United States</trade_country><percentage>70.6</percentage></item>
+                     </export_partners>
+                   </economy></country>"#,
+            ),
+        ];
+        let collection = parse_collection(docs).unwrap();
+        let index = NodeIndex::build(&collection);
+        (collection, index)
+    }
+
+    #[test]
+    fn phrase_query_finds_both_contexts() {
+        let (collection, index) = sample();
+        let results = index.evaluate(&FullTextQuery::phrase("United States"));
+        assert_eq!(results.len(), 2);
+        let contexts: Vec<String> =
+            results.iter().map(|r| collection.context_string(r.node).unwrap()).collect();
+        assert!(contexts.contains(&"/country/name".to_string()));
+        assert!(contexts
+            .contains(&"/country/economy/export_partners/item/trade_country".to_string()));
+    }
+
+    #[test]
+    fn keyword_query_is_conjunctive() {
+        let (_, index) = sample();
+        assert_eq!(index.search("united states").len(), 2);
+        assert_eq!(index.search("united kingdom").len(), 0);
+    }
+
+    #[test]
+    fn rarer_terms_score_higher() {
+        let (_, index) = sample();
+        // "china" occurs once; "country" does not occur in content at all;
+        // "united" occurs twice. A node matching the rarer term should score
+        // at least as high per-term.
+        assert!(index.idf("china") > index.idf("united"));
+    }
+
+    #[test]
+    fn random_access_scores_match_evaluate() {
+        let (_, index) = sample();
+        let query = FullTextQuery::phrase("united states");
+        for hit in index.evaluate(&query) {
+            let direct = index.score(&query, hit.node).unwrap();
+            assert!((direct - hit.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_access_returns_none_for_non_matching_nodes() {
+        let (_, index) = sample();
+        let query = FullTextQuery::keywords("china");
+        let canada_hits = index.search("canada");
+        assert_eq!(canada_hits.len(), 1);
+        assert!(index.score(&query, canada_hits[0].node).is_none());
+    }
+
+    #[test]
+    fn sorted_access_is_descending() {
+        let (_, index) = sample();
+        let postings = index.sorted_access("united");
+        assert_eq!(postings.len(), 2);
+        assert!(postings[0].score >= postings[1].score);
+        assert!(index.sorted_access("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn match_all_returns_every_indexed_node() {
+        let (_, index) = sample();
+        let all = index.evaluate(&FullTextQuery::Any);
+        assert_eq!(all.len(), index.indexed_node_count());
+    }
+
+    #[test]
+    fn path_filtering_restricts_results() {
+        let (collection, index) = sample();
+        let name_path = collection.paths().get_str(collection.symbols(), "/country/name").unwrap();
+        let results =
+            index.evaluate_in_paths(&FullTextQuery::phrase("united states"), &[name_path]);
+        assert_eq!(results.len(), 1);
+        assert_eq!(collection.context_string(results[0].node).unwrap(), "/country/name");
+    }
+
+    #[test]
+    fn numeric_content_is_searchable() {
+        let (collection, index) = sample();
+        let hits = index.search("16.9");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            collection.context_string(hits[0].node).unwrap(),
+            "/country/economy/import_partners/item/percentage"
+        );
+    }
+
+    #[test]
+    fn boolean_query_evaluation() {
+        let (_, index) = sample();
+        let q = FullTextQuery::parse("china OR canada").unwrap();
+        assert_eq!(index.evaluate(&q).len(), 2);
+        let q = FullTextQuery::parse("\"united states\" AND NOT mexico").unwrap();
+        assert_eq!(index.evaluate(&q).len(), 2, "negation applies to node content, not documents");
+    }
+
+    #[test]
+    fn term_statistics() {
+        let (_, index) = sample();
+        assert!(index.term_count() > 10);
+        assert_eq!(index.document_frequency("china"), 1);
+        assert_eq!(index.document_frequency("united"), 2);
+        assert_eq!(index.document_frequency("missing"), 0);
+    }
+}

@@ -1,0 +1,522 @@
+//! The Threshold-Algorithm top-k search unit (Sec. 4).
+//!
+//! SEDA "employs a top-k search algorithm based on the family of threshold
+//! algorithms (TA) [Fagin et al.]: it retrieves the results from full-text
+//! indexes and calculates top answers according to a ranking function which
+//! takes into account both the content score as well as the structural
+//! properties of the matched nodes".
+//!
+//! The implementation is a rank-join-style TA:
+//!
+//! * each query term contributes one posting list sorted by descending
+//!   content score (sorted access on the [`seda_textindex::NodeIndex`]);
+//! * lists are consumed round-robin; every newly seen node is joined with the
+//!   nodes already seen for the other terms, candidate tuples are checked for
+//!   connectivity in the data graph and scored
+//!   `content_weight · Σ content + structure_weight · compactness`;
+//! * the algorithm maintains the classic rank-join threshold
+//!   `max_i ( frontier_i + Σ_{j≠i} best_j )` plus the maximal structural
+//!   bonus, and stops as soon as `k` buffered tuples score at least the
+//!   threshold — the early-termination property the paper relies on for
+//!   interactive response times.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use seda_datagraph::{compactness, DataGraph};
+use seda_textindex::{NodeIndex, ScoredNode};
+use seda_xmlstore::{Collection, DocId, NodeId};
+
+use crate::types::{ResultTuple, SearchStats, TermInput, TopKConfig, TopKResult};
+
+/// Union-find over documents connected by non-tree edges.  A result tuple can
+/// only be connected (Definition 4) if all of its nodes live in documents of
+/// the same component, so both searchers prune combinations across components
+/// before paying for a breadth-first connectivity check.
+struct DocComponents {
+    component: HashMap<DocId, u32>,
+}
+
+impl DocComponents {
+    fn build(collection: &Collection, graph: &DataGraph) -> Self {
+        let mut parent: HashMap<DocId, DocId> =
+            collection.documents().map(|d| (d.id, d.id)).collect();
+        fn find(parent: &mut HashMap<DocId, DocId>, mut x: DocId) -> DocId {
+            while parent[&x] != x {
+                let grand = parent[&parent[&x]];
+                parent.insert(x, grand);
+                x = grand;
+            }
+            x
+        }
+        for edge in graph.edges() {
+            let a = find(&mut parent, edge.from.doc);
+            let b = find(&mut parent, edge.to.doc);
+            if a != b {
+                parent.insert(a, b);
+            }
+        }
+        let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
+        let mut component = HashMap::with_capacity(docs.len());
+        let mut ids: HashMap<DocId, u32> = HashMap::new();
+        let mut next = 0u32;
+        for doc in docs {
+            let root = find(&mut parent, doc);
+            let id = *ids.entry(root).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            component.insert(doc, id);
+        }
+        DocComponents { component }
+    }
+
+    fn of(&self, doc: DocId) -> u32 {
+        self.component.get(&doc).copied().unwrap_or(u32::MAX)
+    }
+
+    fn same(&self, a: NodeId, b: NodeId) -> bool {
+        self.of(a.doc) == self.of(b.doc)
+    }
+}
+
+/// Top-k searcher over a collection, its node index and its data graph.
+pub struct TopKSearcher<'a> {
+    collection: &'a Collection,
+    index: &'a NodeIndex,
+    graph: &'a DataGraph,
+}
+
+/// Max-heap entry ordered by combined score.
+#[derive(Debug)]
+struct HeapTuple(ResultTuple);
+
+impl PartialEq for HeapTuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.score == other.0.score && self.0.nodes == other.0.nodes
+    }
+}
+impl Eq for HeapTuple {}
+impl PartialOrd for HeapTuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapTuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .score
+            .partial_cmp(&other.0.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.0.nodes.cmp(&self.0.nodes))
+    }
+}
+
+impl<'a> TopKSearcher<'a> {
+    /// Creates a searcher over prebuilt structures.
+    pub fn new(collection: &'a Collection, index: &'a NodeIndex, graph: &'a DataGraph) -> Self {
+        TopKSearcher { collection, index, graph }
+    }
+
+    fn term_list(&self, term: &TermInput) -> Vec<ScoredNode> {
+        match &term.allowed_paths {
+            Some(paths) => self.index.evaluate_in_paths(&term.query, paths),
+            None => self.index.evaluate(&term.query),
+        }
+    }
+
+    /// Scores one candidate tuple, returning `None` for disconnected tuples.
+    fn score_tuple(
+        &self,
+        nodes: &[NodeId],
+        content: f64,
+        config: &TopKConfig,
+        stats: &mut SearchStats,
+    ) -> Option<ResultTuple> {
+        stats.tuples_scored += 1;
+        let compact = compactness(self.graph, self.collection, nodes, config.max_depth);
+        if compact == 0.0 && nodes.len() > 1 {
+            stats.tuples_disconnected += 1;
+            return None;
+        }
+        let score = config.content_weight * content + config.structure_weight * compact;
+        Some(ResultTuple { nodes: nodes.to_vec(), content_score: content, compactness: compact, score })
+    }
+
+    /// Runs the Threshold-Algorithm search.
+    pub fn search(&self, terms: &[TermInput], config: &TopKConfig) -> TopKResult {
+        let mut stats = SearchStats::default();
+        if terms.is_empty() {
+            return TopKResult { tuples: Vec::new(), stats };
+        }
+
+        // Sorted-access lists, one per term.
+        let lists: Vec<Vec<ScoredNode>> = terms.iter().map(|t| self.term_list(t)).collect();
+        if lists.iter().any(Vec::is_empty) {
+            // Some term has no match at all: the result is empty (Definition 4
+            // requires every term to be satisfied).
+            return TopKResult { tuples: Vec::new(), stats };
+        }
+        let best_scores: Vec<f64> = lists.iter().map(|l| l[0].score).collect();
+        let m = lists.len();
+        let components = DocComponents::build(self.collection, self.graph);
+
+        // Seen prefixes per list.
+        let mut seen: Vec<Vec<ScoredNode>> = vec![Vec::new(); m];
+        let mut positions = vec![0usize; m];
+        let mut buffer: BinaryHeap<HeapTuple> = BinaryHeap::new();
+        let mut exhausted = false;
+
+        'outer: loop {
+            let mut advanced = false;
+            for i in 0..m {
+                let pos = positions[i];
+                if pos >= lists[i].len() {
+                    continue;
+                }
+                positions[i] += 1;
+                advanced = true;
+                stats.sorted_accesses += 1;
+                let new_node = lists[i][pos].clone();
+
+                // Join the new node with every combination of already-seen
+                // nodes from the other lists.
+                let mut combos: Vec<(Vec<NodeId>, f64)> = vec![(Vec::new(), 0.0)];
+                for (j, seen_j) in seen.iter().enumerate() {
+                    let mut next = Vec::new();
+                    if j == i {
+                        for (nodes, content) in &combos {
+                            let mut nodes = nodes.clone();
+                            nodes.push(new_node.node);
+                            next.push((nodes, content + new_node.score));
+                        }
+                    } else {
+                        for (nodes, content) in &combos {
+                            for candidate in seen_j {
+                                // Component pruning: a tuple spanning two
+                                // disconnected document components can never
+                                // be connected, so skip it before the BFS.
+                                if !components.same(candidate.node, new_node.node) {
+                                    continue;
+                                }
+                                stats.random_accesses += 1;
+                                let mut nodes = nodes.clone();
+                                nodes.push(candidate.node);
+                                next.push((nodes, content + candidate.score));
+                            }
+                        }
+                    }
+                    combos = next;
+                    if combos.is_empty() {
+                        break;
+                    }
+                    if stats.tuples_scored + combos.len() > config.candidate_limit {
+                        combos.truncate(config.candidate_limit.saturating_sub(stats.tuples_scored));
+                    }
+                }
+                for (nodes, content) in combos {
+                    if nodes.len() != m {
+                        continue;
+                    }
+                    if let Some(tuple) = self.score_tuple(&nodes, content, config, &mut stats) {
+                        buffer.push(HeapTuple(tuple));
+                    }
+                    if stats.tuples_scored >= config.candidate_limit {
+                        break 'outer;
+                    }
+                }
+                seen[i].push(new_node);
+
+                // Threshold test: an unseen combination can score at most
+                //   max_i ( frontier_i + Σ_{j≠i} best_j )
+                // in content, plus the maximal structural bonus.
+                let frontier: Vec<f64> = (0..m)
+                    .map(|j| {
+                        if positions[j] == 0 {
+                            best_scores[j]
+                        } else if positions[j] <= lists[j].len() {
+                            lists[j][positions[j] - 1].score
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let mut threshold_content = f64::NEG_INFINITY;
+                for j in 0..m {
+                    let mut bound = frontier[j];
+                    for (l, best) in best_scores.iter().enumerate() {
+                        if l != j {
+                            bound += best;
+                        }
+                    }
+                    threshold_content = threshold_content.max(bound);
+                }
+                let threshold =
+                    config.content_weight * threshold_content + config.structure_weight * 1.0;
+
+                if buffer.len() >= config.k {
+                    let kth_score = kth_best_score(&buffer, config.k);
+                    if kth_score >= threshold {
+                        stats.early_terminated = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !advanced {
+                exhausted = true;
+                break;
+            }
+        }
+        let _ = exhausted;
+
+        let mut tuples: Vec<ResultTuple> = buffer.into_sorted_vec().into_iter().map(|h| h.0).collect();
+        // `into_sorted_vec` is ascending; we want best-first.
+        tuples.reverse();
+        tuples.dedup_by(|a, b| a.nodes == b.nodes);
+        tuples.truncate(config.k);
+        TopKResult { tuples, stats }
+    }
+
+    /// Exhaustive baseline: enumerates every combination of matching nodes,
+    /// scores them all and returns the best `k`.  Used to validate the TA
+    /// implementation and as the comparison point in the benchmark harness.
+    pub fn search_naive(&self, terms: &[TermInput], config: &TopKConfig) -> TopKResult {
+        let mut stats = SearchStats::default();
+        if terms.is_empty() {
+            return TopKResult { tuples: Vec::new(), stats };
+        }
+        let lists: Vec<Vec<ScoredNode>> = terms.iter().map(|t| self.term_list(t)).collect();
+        if lists.iter().any(Vec::is_empty) {
+            return TopKResult { tuples: Vec::new(), stats };
+        }
+        stats.sorted_accesses = lists.iter().map(Vec::len).sum();
+        let components = DocComponents::build(self.collection, self.graph);
+
+        let mut combos: Vec<(Vec<NodeId>, f64)> = vec![(Vec::new(), 0.0)];
+        for list in &lists {
+            let mut next = Vec::with_capacity(combos.len() * list.len());
+            for (nodes, content) in &combos {
+                for candidate in list {
+                    if let Some(&first) = nodes.first() {
+                        if !components.same(first, candidate.node) {
+                            continue;
+                        }
+                    }
+                    let mut nodes = nodes.clone();
+                    nodes.push(candidate.node);
+                    next.push((nodes, content + candidate.score));
+                    if next.len() > config.candidate_limit {
+                        break;
+                    }
+                }
+            }
+            combos = next;
+        }
+
+        let mut tuples: Vec<ResultTuple> = combos
+            .into_iter()
+            .filter_map(|(nodes, content)| self.score_tuple(&nodes, content, config, &mut stats))
+            .collect();
+        tuples.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.nodes.cmp(&b.nodes))
+        });
+        tuples.truncate(config.k);
+        TopKResult { tuples, stats }
+    }
+}
+
+fn kth_best_score(buffer: &BinaryHeap<HeapTuple>, k: usize) -> f64 {
+    // BinaryHeap gives no direct k-th access; clone the scores (buffer stays
+    // small: it holds scored tuples only).
+    let mut scores: Vec<f64> = buffer.iter().map(|h| h.0.score).collect();
+    scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    scores.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_datagraph::GraphConfig;
+    use seda_textindex::FullTextQuery;
+    use seda_xmlstore::parse_collection;
+
+    fn factbook_fragment() -> Collection {
+        parse_collection(vec![
+            (
+                "us2006.xml",
+                r#"<country><name>United States</name><year>2006</year>
+                     <economy><GDP_ppp>12.31T</GDP_ppp>
+                       <import_partners>
+                         <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                         <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                       </import_partners>
+                     </economy></country>"#,
+            ),
+            (
+                "mexico2003.xml",
+                r#"<country><name>Mexico</name><year>2003</year>
+                     <economy><GDP>924.4B</GDP>
+                       <export_partners>
+                         <item><trade_country>United States</trade_country><percentage>70.6</percentage></item>
+                       </export_partners>
+                     </economy></country>"#,
+            ),
+            (
+                "canada2006.xml",
+                r#"<country><name>Canada</name><year>2006</year>
+                     <economy><GDP_ppp>1.1T</GDP_ppp></economy></country>"#,
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn searcher_parts(c: &Collection) -> (NodeIndex, DataGraph) {
+        (NodeIndex::build(c), DataGraph::build(c, &GraphConfig::default()))
+    }
+
+    fn query1_terms(c: &Collection) -> Vec<TermInput> {
+        // Query 1: (∗, "United States") ∧ (trade_country, ∗) ∧ (percentage, ∗)
+        let tc_paths: Vec<_> = c
+            .paths()
+            .iter()
+            .filter(|(_, p)| {
+                p.leaf().map(|l| c.symbols().resolve(l) == "trade_country").unwrap_or(false)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let pct_paths: Vec<_> = c
+            .paths()
+            .iter()
+            .filter(|(_, p)| {
+                p.leaf().map(|l| c.symbols().resolve(l) == "percentage").unwrap_or(false)
+            })
+            .map(|(id, _)| id)
+            .collect();
+        vec![
+            TermInput::new(FullTextQuery::phrase("United States")),
+            TermInput::with_paths(FullTextQuery::Any, tc_paths),
+            TermInput::with_paths(FullTextQuery::Any, pct_paths),
+        ]
+    }
+
+    #[test]
+    fn query1_returns_connected_tuples_only() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let result = searcher.search(&query1_terms(&c), &TopKConfig::with_k(5));
+        assert!(!result.tuples.is_empty());
+        for tuple in &result.tuples {
+            assert_eq!(tuple.nodes.len(), 3);
+            assert!(tuple.compactness > 0.0, "tuples must be connected");
+            // All three nodes of a connected tuple live in the same document
+            // in this fragment (no cross-document edges).
+            let doc = tuple.nodes[0].doc;
+            assert!(tuple.nodes.iter().all(|n| n.doc == doc));
+        }
+    }
+
+    #[test]
+    fn tight_tuples_rank_above_loose_ones() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let result = searcher.search(&query1_terms(&c), &TopKConfig::with_k(10));
+        // The best US tuple must pair China with 15 or Canada with 16.9 (the
+        // same-item pairing), not a cross-item combination.
+        let best = &result.tuples[0];
+        let contents: Vec<String> =
+            best.nodes.iter().map(|&n| c.content(n).unwrap()).collect();
+        let same_item = (contents.contains(&"China".to_string())
+            && contents.contains(&"15".to_string()))
+            || (contents.contains(&"Canada".to_string())
+                && contents.contains(&"16.9".to_string()))
+            || (contents.contains(&"United States".to_string())
+                && contents.contains(&"70.6".to_string()));
+        assert!(same_item, "best tuple should pair a trade country with its own percentage: {contents:?}");
+    }
+
+    #[test]
+    fn ta_matches_naive_baseline() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let config = TopKConfig::with_k(4);
+        let terms = query1_terms(&c);
+        let ta = searcher.search(&terms, &config);
+        let naive = searcher.search_naive(&terms, &config);
+        assert_eq!(ta.tuples.len(), naive.tuples.len());
+        for (a, b) in ta.tuples.iter().zip(naive.tuples.iter()) {
+            assert!((a.score - b.score).abs() < 1e-9, "TA and naive disagree: {} vs {}", a.score, b.score);
+        }
+    }
+
+    #[test]
+    fn k_limits_the_result_size() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let one = searcher.search(&terms, &TopKConfig::with_k(1));
+        assert_eq!(one.tuples.len(), 1);
+        let many = searcher.search(&terms, &TopKConfig::with_k(50));
+        assert!(many.tuples.len() >= one.tuples.len());
+        // Results are sorted best-first.
+        for w in many.tuples.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn empty_term_list_and_unmatchable_terms() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        assert!(searcher.search(&[], &TopKConfig::default()).tuples.is_empty());
+        let impossible = vec![
+            TermInput::new(FullTextQuery::keywords("zzzunknownzzz")),
+            TermInput::new(FullTextQuery::Any),
+        ];
+        assert!(searcher.search(&impossible, &TopKConfig::default()).tuples.is_empty());
+    }
+
+    #[test]
+    fn single_term_queries_degenerate_to_ranked_retrieval() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = vec![TermInput::new(FullTextQuery::phrase("United States"))];
+        let result = searcher.search(&terms, &TopKConfig::with_k(10));
+        assert_eq!(result.tuples.len(), 2, "US appears as a country name and as a trade partner");
+        for t in &result.tuples {
+            assert_eq!(t.compactness, 1.0, "singleton tuples are maximally compact");
+        }
+    }
+
+    #[test]
+    fn context_restriction_filters_terms() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let name_path = c.paths().get_str(c.symbols(), "/country/name").unwrap();
+        let terms = vec![TermInput::with_paths(
+            FullTextQuery::phrase("United States"),
+            vec![name_path],
+        )];
+        let result = searcher.search(&terms, &TopKConfig::default());
+        assert_eq!(result.tuples.len(), 1);
+        assert_eq!(c.context_string(result.tuples[0].nodes[0]).unwrap(), "/country/name");
+    }
+
+    #[test]
+    fn stats_record_work_and_early_termination_does_less_of_it() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let small_k = searcher.search(&terms, &TopKConfig::with_k(1));
+        let naive = searcher.search_naive(&terms, &TopKConfig::with_k(1));
+        assert!(small_k.stats.sorted_accesses > 0);
+        assert!(small_k.stats.tuples_scored <= naive.stats.tuples_scored);
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared types of the top-k search unit.
+
+use serde::{Deserialize, Serialize};
+
+use seda_textindex::FullTextQuery;
+use seda_xmlstore::{NodeId, PathId};
+
+/// One search input per query term: the full-text expression plus an optional
+/// context restriction (the set of allowed root-to-leaf paths the user picked
+/// in the context summary).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TermInput {
+    /// The full-text search expression of the query term.
+    pub query: FullTextQuery,
+    /// When present, only nodes whose context is in this set may satisfy the
+    /// term (Sec. 5: "SEDA re-computes top-k results, with the additional
+    /// constraint that the results satisfy the contexts chosen by the user").
+    pub allowed_paths: Option<Vec<PathId>>,
+}
+
+impl TermInput {
+    /// Unrestricted term.
+    pub fn new(query: FullTextQuery) -> Self {
+        TermInput { query, allowed_paths: None }
+    }
+
+    /// Term restricted to the given contexts.
+    pub fn with_paths(query: FullTextQuery, allowed_paths: Vec<PathId>) -> Self {
+        TermInput { query, allowed_paths: Some(allowed_paths) }
+    }
+}
+
+/// Configuration of a top-k search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopKConfig {
+    /// Number of result tuples to return.
+    pub k: usize,
+    /// Maximum number of hops when testing connectivity / compactness.
+    pub max_depth: usize,
+    /// Weight of the summed content scores in the combined score.
+    pub content_weight: f64,
+    /// Weight of the structural compactness in the combined score.
+    pub structure_weight: f64,
+    /// Upper bound on the number of candidate tuples the algorithm will score
+    /// (guards against combinatorial blow-up on match-all terms).
+    pub candidate_limit: usize,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            k: 10,
+            max_depth: 12,
+            content_weight: 1.0,
+            structure_weight: 1.0,
+            candidate_limit: 200_000,
+        }
+    }
+}
+
+impl TopKConfig {
+    /// Convenience constructor fixing only `k`.
+    pub fn with_k(k: usize) -> Self {
+        TopKConfig { k, ..TopKConfig::default() }
+    }
+}
+
+/// A scored result tuple `<n1, …, nm>` (Definition 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultTuple {
+    /// One node per query term, in query-term order.
+    pub nodes: Vec<NodeId>,
+    /// Sum of the per-term content scores.
+    pub content_score: f64,
+    /// Structural compactness of the connecting subgraph (1 / (1 + size)).
+    pub compactness: f64,
+    /// Combined score used for ranking.
+    pub score: f64,
+}
+
+/// Counters describing the work a search performed; used to demonstrate the
+/// Threshold Algorithm's early termination.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Entries consumed from sorted posting lists.
+    pub sorted_accesses: usize,
+    /// Random-access score probes.
+    pub random_accesses: usize,
+    /// Candidate tuples whose connectivity/compactness was evaluated.
+    pub tuples_scored: usize,
+    /// Candidate tuples discarded because they were not connected.
+    pub tuples_disconnected: usize,
+    /// True when the algorithm stopped via the threshold condition rather
+    /// than exhausting all lists.
+    pub early_terminated: bool,
+}
+
+/// Result of a top-k search.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopKResult {
+    /// The top tuples, best first.
+    pub tuples: Vec<ResultTuple>,
+    /// Work counters.
+    pub stats: SearchStats,
+}
+
+impl TopKResult {
+    /// Nodes of every tuple (convenience for the connection summary, which
+    /// consumes the top-k node tuples).
+    pub fn node_tuples(&self) -> Vec<Vec<NodeId>> {
+        self.tuples.iter().map(|t| t.nodes.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = TopKConfig::default();
+        assert_eq!(c.k, 10);
+        assert!(c.max_depth > 0);
+        assert!(c.content_weight > 0.0 && c.structure_weight > 0.0);
+        assert_eq!(TopKConfig::with_k(3).k, 3);
+    }
+
+    #[test]
+    fn term_input_constructors() {
+        let t = TermInput::new(FullTextQuery::Any);
+        assert!(t.allowed_paths.is_none());
+        let t = TermInput::with_paths(FullTextQuery::Any, vec![PathId(1)]);
+        assert_eq!(t.allowed_paths.unwrap(), vec![PathId(1)]);
+    }
+
+    #[test]
+    fn node_tuples_projects_nodes() {
+        let r = TopKResult {
+            tuples: vec![ResultTuple {
+                nodes: vec![NodeId::new(seda_xmlstore::DocId(0), 1)],
+                content_score: 1.0,
+                compactness: 1.0,
+                score: 2.0,
+            }],
+            stats: SearchStats::default(),
+        };
+        assert_eq!(r.node_tuples().len(), 1);
+        assert_eq!(r.node_tuples()[0].len(), 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Cross-twig joins.
+//!
+//! "The remaining edges are called cross-twig joins, which combine the results
+//! from different twigs. … we join the results from different twigs according
+//! to the cross-twig join edges to produce the complete result tuples, which
+//! is similar to a join in an RDBMS." (Sec. 7)
+//!
+//! Two join predicates cover the edges that can cross documents in the data
+//! graph: value equality (value-based primary/foreign-key edges) and
+//! graph adjacency (IDREF / XLink edges between the matched elements or their
+//! ancestors).
+
+use std::collections::HashMap;
+
+use seda_datagraph::DataGraph;
+use seda_xmlstore::{Collection, NodeId};
+
+use crate::eval::TwigMatches;
+
+/// A join predicate between a column of the left twig result and a column of
+/// the right twig result.  Columns are indices into the respective
+/// `output_nodes` / row vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinPredicate {
+    /// The contents of the two columns must be equal (value-based edge).
+    ValueEquality {
+        /// Column in the left result.
+        left: usize,
+        /// Column in the right result.
+        right: usize,
+    },
+    /// The two matched nodes (or the elements owning them) must be directly
+    /// connected by a non-tree edge of the data graph (IDREF / XLink /
+    /// value-based edge materialised in the graph).
+    GraphAdjacency {
+        /// Column in the left result.
+        left: usize,
+        /// Column in the right result.
+        right: usize,
+    },
+}
+
+/// Result of joining two twig results: the output columns of the left result
+/// followed by those of the right result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JoinedMatches {
+    /// Pattern-node indices of the left twig, then of the right twig.
+    pub output_nodes: Vec<usize>,
+    /// Joined rows.
+    pub rows: Vec<Vec<NodeId>>,
+}
+
+impl JoinedMatches {
+    /// Number of joined rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the join produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn content_key(collection: &Collection, node: NodeId) -> String {
+    collection.content(node).unwrap_or_default()
+}
+
+/// True when `a` and `b` are directly connected by a non-tree edge, either
+/// themselves or via the elements that own them (an IDREF edge links owning
+/// elements, not the attribute nodes or text leaves the twig matched).
+fn adjacent(graph: &DataGraph, collection: &Collection, a: NodeId, b: NodeId) -> bool {
+    let related: Vec<NodeId> = {
+        let mut v = vec![a];
+        if let Ok(node) = collection.node(a) {
+            if let Some(p) = node.parent {
+                v.push(NodeId::new(a.doc, p));
+            }
+        }
+        v
+    };
+    let targets: Vec<NodeId> = {
+        let mut v = vec![b];
+        if let Ok(node) = collection.node(b) {
+            if let Some(p) = node.parent {
+                v.push(NodeId::new(b.doc, p));
+            }
+        }
+        v
+    };
+    for &x in &related {
+        for (neighbor, _) in graph.cross_neighbors(x) {
+            if targets.contains(neighbor) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Joins two twig results on the conjunction of the given predicates.
+///
+/// Value-equality predicates are evaluated with a hash join on the first such
+/// predicate; graph-adjacency predicates (and any further value predicates)
+/// are applied as filters on the candidate pairs.
+pub fn cross_twig_join(
+    collection: &Collection,
+    graph: &DataGraph,
+    left: &TwigMatches,
+    right: &TwigMatches,
+    predicates: &[JoinPredicate],
+) -> JoinedMatches {
+    let mut result = JoinedMatches {
+        output_nodes: left
+            .output_nodes
+            .iter()
+            .chain(right.output_nodes.iter())
+            .copied()
+            .collect(),
+        rows: Vec::new(),
+    };
+    if left.is_empty() || right.is_empty() {
+        return result;
+    }
+
+    // Pick the first value-equality predicate as the hash-join key.
+    let hash_key = predicates.iter().find_map(|p| match p {
+        JoinPredicate::ValueEquality { left, right } => Some((*left, *right)),
+        _ => None,
+    });
+
+    let candidate_pairs: Vec<(usize, usize)> = match hash_key {
+        Some((lcol, rcol)) => {
+            let mut by_value: HashMap<String, Vec<usize>> = HashMap::new();
+            for (ri, row) in right.rows.iter().enumerate() {
+                by_value.entry(content_key(collection, row[rcol])).or_default().push(ri);
+            }
+            let mut pairs = Vec::new();
+            for (li, row) in left.rows.iter().enumerate() {
+                if let Some(ris) = by_value.get(&content_key(collection, row[lcol])) {
+                    pairs.extend(ris.iter().map(|&ri| (li, ri)));
+                }
+            }
+            pairs
+        }
+        None => {
+            let mut pairs = Vec::with_capacity(left.rows.len() * right.rows.len());
+            for li in 0..left.rows.len() {
+                for ri in 0..right.rows.len() {
+                    pairs.push((li, ri));
+                }
+            }
+            pairs
+        }
+    };
+
+    'pair: for (li, ri) in candidate_pairs {
+        let lrow = &left.rows[li];
+        let rrow = &right.rows[ri];
+        for predicate in predicates {
+            let ok = match *predicate {
+                JoinPredicate::ValueEquality { left, right } => {
+                    content_key(collection, lrow[left]) == content_key(collection, rrow[right])
+                }
+                JoinPredicate::GraphAdjacency { left, right } => {
+                    adjacent(graph, collection, lrow[left], rrow[right])
+                }
+            };
+            if !ok {
+                continue 'pair;
+            }
+        }
+        let mut row = lrow.clone();
+        row.extend(rrow.iter().copied());
+        result.rows.push(row);
+    }
+    result.rows.sort();
+    result.rows.dedup();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_twig;
+    use crate::pattern::TwigPattern;
+    use seda_datagraph::GraphConfig;
+    use seda_xmlstore::parse_collection;
+
+    fn setup() -> (Collection, DataGraph) {
+        let c = parse_collection(vec![
+            (
+                "us.xml",
+                r#"<country id="cty-us"><name>United States</name><year>2006</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+            (
+                "cn.xml",
+                r#"<country id="cty-cn"><name>China</name><year>2006</year>
+                     <economy><GDP_ppp>10.1T</GDP_ppp></economy></country>"#,
+            ),
+            (
+                "sea.xml",
+                r#"<sea id="sea-pac"><name>Pacific Ocean</name>
+                     <bordering country_idref="cty-us"/>
+                     <bordering country_idref="cty-cn"/></sea>"#,
+            ),
+        ])
+        .unwrap();
+        let g = DataGraph::build(&c, &GraphConfig::default());
+        (c, g)
+    }
+
+    #[test]
+    fn value_equality_join_pairs_partner_with_country_document() {
+        let (c, g) = setup();
+        // Left twig: US import partners (trade_country).
+        let left = evaluate_twig(
+            &c,
+            &TwigPattern::from_path("/country/economy/import_partners/item/trade_country").unwrap(),
+        );
+        // Right twig: country names with their GDP.
+        let right = evaluate_twig(
+            &c,
+            &TwigPattern::from_paths(&["/country/name", "/country/economy/GDP_ppp"]).unwrap(),
+        );
+        let joined = cross_twig_join(
+            &c,
+            &g,
+            &left,
+            &right,
+            &[JoinPredicate::ValueEquality { left: 0, right: 0 }],
+        );
+        assert_eq!(joined.len(), 1);
+        let row = &joined.rows[0];
+        assert_eq!(c.content(row[0]).unwrap(), "China");
+        assert_eq!(c.content(row[1]).unwrap(), "China");
+        assert_eq!(c.content(row[2]).unwrap(), "10.1T");
+        assert_eq!(joined.output_nodes.len(), 3);
+    }
+
+    #[test]
+    fn graph_adjacency_join_follows_idref_edges() {
+        let (c, g) = setup();
+        // Left twig: the bordering elements of seas.
+        let bordering = TwigPattern::from_path("/sea/bordering").unwrap();
+        let left = evaluate_twig(&c, &bordering);
+        // Right twig: country names together with the country root element.
+        let mut country = TwigPattern::from_path("/country/name").unwrap();
+        country.set_output(0, true);
+        let right = evaluate_twig(&c, &country);
+        let joined = cross_twig_join(
+            &c,
+            &g,
+            &left,
+            &right,
+            &[JoinPredicate::GraphAdjacency { left: 0, right: 0 }],
+        );
+        // Two bordering elements, each adjacent to exactly one country root.
+        assert_eq!(joined.len(), 2);
+        for row in &joined.rows {
+            assert_eq!(c.node_name(row[0]).unwrap(), "bordering");
+            assert_eq!(c.node_name(row[1]).unwrap(), "country");
+        }
+    }
+
+    #[test]
+    fn conjunction_of_predicates_filters_further() {
+        let (c, g) = setup();
+        let left = evaluate_twig(
+            &c,
+            &TwigPattern::from_path("/country/economy/import_partners/item/trade_country").unwrap(),
+        );
+        let right = evaluate_twig(&c, &TwigPattern::from_path("/country/name").unwrap());
+        // Value equality alone gives 1 pair; adding an (unsatisfiable)
+        // adjacency predicate filters it out because the trade_country leaf
+        // has no direct cross edge to the name node.
+        let both = cross_twig_join(
+            &c,
+            &g,
+            &left,
+            &right,
+            &[
+                JoinPredicate::ValueEquality { left: 0, right: 0 },
+                JoinPredicate::GraphAdjacency { left: 0, right: 0 },
+            ],
+        );
+        assert!(both.is_empty());
+    }
+
+    #[test]
+    fn join_without_predicates_is_a_cross_product() {
+        let (c, g) = setup();
+        let left = evaluate_twig(&c, &TwigPattern::from_path("/sea/name").unwrap());
+        let right = evaluate_twig(&c, &TwigPattern::from_path("/country/name").unwrap());
+        let joined = cross_twig_join(&c, &g, &left, &right, &[]);
+        assert_eq!(joined.len(), left.len() * right.len());
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_joins() {
+        let (c, g) = setup();
+        let left = evaluate_twig(&c, &TwigPattern::from_path("/sea/name").unwrap());
+        let empty = evaluate_twig(&c, &TwigPattern::from_path("/sea/missing").unwrap());
+        assert!(cross_twig_join(&c, &g, &left, &empty, &[]).is_empty());
+        assert!(cross_twig_join(&c, &g, &empty, &left, &[]).is_empty());
+    }
+}

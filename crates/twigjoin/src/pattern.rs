@@ -1,0 +1,263 @@
+//! Query pattern trees (twigs).
+//!
+//! Sec. 7 of the paper partitions the user's connection graph into *twigs*:
+//! "each twig is a query pattern tree, which includes the connection nodes and
+//! parent/child edges within the same document".  A [`TwigPattern`] is such a
+//! tree: every node carries a label test, an axis relating it to its parent
+//! (child or descendant), an optional full-text predicate on its content, and
+//! a flag marking it as an output (query) node.
+
+use serde::{Deserialize, Serialize};
+
+use seda_textindex::FullTextQuery;
+
+/// Axis between a pattern node and its parent pattern node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Axis {
+    /// Direct parent/child edge (`/`).
+    Child,
+    /// Ancestor/descendant edge (`//`).
+    Descendant,
+}
+
+/// One node of a twig pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwigNode {
+    /// Element/attribute label the node must match.
+    pub label: String,
+    /// Axis to the parent pattern node (ignored for the root).
+    pub axis: Axis,
+    /// Optional full-text predicate on the matched node's direct content.
+    pub predicate: Option<FullTextQuery>,
+    /// True when matches of this node are part of the output tuples.
+    pub output: bool,
+    /// Parent pattern-node index.
+    pub parent: Option<usize>,
+    /// Child pattern-node indices.
+    pub children: Vec<usize>,
+}
+
+/// A query pattern tree.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TwigPattern {
+    nodes: Vec<TwigNode>,
+}
+
+impl TwigPattern {
+    /// Creates a pattern with only a root node.
+    pub fn with_root(label: impl Into<String>) -> Self {
+        TwigPattern {
+            nodes: vec![TwigNode {
+                label: label.into(),
+                axis: Axis::Child,
+                predicate: None,
+                output: false,
+                parent: None,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Builds a single-path pattern from `/a/b/c` notation; the leaf is marked
+    /// as an output node.
+    pub fn from_path(path: &str) -> Option<Self> {
+        let mut labels = path.split('/').filter(|s| !s.is_empty());
+        let root = labels.next()?;
+        let mut pattern = TwigPattern::with_root(root);
+        let mut current = 0usize;
+        for label in labels {
+            current = pattern.add_child(current, label, Axis::Child);
+        }
+        pattern.nodes[current].output = true;
+        Some(pattern)
+    }
+
+    /// Builds a merged pattern from several `/a/b/c` paths sharing the same
+    /// root; each path's leaf becomes an output node.  Returns `None` when the
+    /// paths are empty or have different root labels.
+    pub fn from_paths(paths: &[&str]) -> Option<Self> {
+        let mut iter = paths.iter();
+        let first = iter.next()?;
+        let mut pattern = TwigPattern::from_path(first)?;
+        for path in iter {
+            let mut labels = path.split('/').filter(|s| !s.is_empty());
+            let root = labels.next()?;
+            if root != pattern.nodes[0].label {
+                return None;
+            }
+            let mut current = 0usize;
+            for label in labels {
+                current = match pattern
+                    .nodes[current]
+                    .children
+                    .iter()
+                    .copied()
+                    .find(|&c| pattern.nodes[c].label == label && pattern.nodes[c].axis == Axis::Child)
+                {
+                    Some(existing) => existing,
+                    None => pattern.add_child(current, label, Axis::Child),
+                };
+            }
+            pattern.nodes[current].output = true;
+        }
+        Some(pattern)
+    }
+
+    /// Adds a child pattern node and returns its index.
+    pub fn add_child(&mut self, parent: usize, label: impl Into<String>, axis: Axis) -> usize {
+        let idx = self.nodes.len();
+        self.nodes.push(TwigNode {
+            label: label.into(),
+            axis,
+            predicate: None,
+            output: false,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Sets the full-text predicate of a pattern node.
+    pub fn set_predicate(&mut self, node: usize, predicate: FullTextQuery) {
+        self.nodes[node].predicate = Some(predicate);
+    }
+
+    /// Marks a pattern node as an output node.
+    pub fn set_output(&mut self, node: usize, output: bool) {
+        self.nodes[node].output = output;
+    }
+
+    /// The root pattern-node index (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the pattern has no nodes (only possible via `Default`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a pattern node.
+    pub fn node(&self, idx: usize) -> &TwigNode {
+        &self.nodes[idx]
+    }
+
+    /// Indices of all pattern nodes, root first (pre-order).
+    pub fn node_indices(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            for &c in self.nodes[n].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Indices of leaf pattern nodes.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+    }
+
+    /// Indices of output pattern nodes, in index order.
+    pub fn output_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].output).collect()
+    }
+
+    /// Root-to-leaf decomposition: for every leaf, the chain of pattern-node
+    /// indices from the root down to that leaf.  The stack-based evaluation
+    /// processes one chain at a time and merges the per-chain solutions.
+    pub fn root_to_leaf_chains(&self) -> Vec<Vec<usize>> {
+        self.leaves()
+            .into_iter()
+            .map(|leaf| {
+                let mut chain = vec![leaf];
+                let mut current = leaf;
+                while let Some(p) = self.nodes[current].parent {
+                    chain.push(p);
+                    current = p;
+                }
+                chain.reverse();
+                chain
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_path_builds_a_chain() {
+        let p = TwigPattern::from_path("/country/economy/GDP").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.node(0).label, "country");
+        assert_eq!(p.node(2).label, "GDP");
+        assert!(p.node(2).output);
+        assert!(!p.node(0).output);
+        assert_eq!(p.leaves(), vec![2]);
+    }
+
+    #[test]
+    fn from_paths_merges_shared_prefixes() {
+        let p = TwigPattern::from_paths(&[
+            "/country/economy/import_partners/item/trade_country",
+            "/country/economy/import_partners/item/percentage",
+            "/country/name",
+        ])
+        .unwrap();
+        // country, economy, import_partners, item, trade_country, percentage, name
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.output_nodes().len(), 3);
+        assert_eq!(p.leaves().len(), 3);
+        // The two partner leaves share the same `item` parent node.
+        let tc = p.node_indices().into_iter().find(|&i| p.node(i).label == "trade_country").unwrap();
+        let pct = p.node_indices().into_iter().find(|&i| p.node(i).label == "percentage").unwrap();
+        assert_eq!(p.node(tc).parent, p.node(pct).parent);
+    }
+
+    #[test]
+    fn from_paths_rejects_mismatched_roots() {
+        assert!(TwigPattern::from_paths(&["/country/name", "/sea/name"]).is_none());
+        assert!(TwigPattern::from_paths(&[]).is_none());
+        assert!(TwigPattern::from_path("").is_none());
+    }
+
+    #[test]
+    fn chains_cover_every_leaf() {
+        let p = TwigPattern::from_paths(&["/a/b/c", "/a/b/d", "/a/e"]).unwrap();
+        let chains = p.root_to_leaf_chains();
+        assert_eq!(chains.len(), 3);
+        for chain in &chains {
+            assert_eq!(chain[0], p.root());
+            assert!(p.node(*chain.last().unwrap()).children.is_empty());
+        }
+    }
+
+    #[test]
+    fn descendant_axis_and_predicates_are_recorded() {
+        let mut p = TwigPattern::with_root("country");
+        let any_tc = p.add_child(0, "trade_country", Axis::Descendant);
+        p.set_predicate(any_tc, FullTextQuery::phrase("United States"));
+        p.set_output(any_tc, true);
+        assert_eq!(p.node(any_tc).axis, Axis::Descendant);
+        assert!(p.node(any_tc).predicate.is_some());
+        assert_eq!(p.output_nodes(), vec![any_tc]);
+    }
+
+    #[test]
+    fn preorder_enumeration_starts_at_root() {
+        let p = TwigPattern::from_paths(&["/a/b/c", "/a/d"]).unwrap();
+        let order = p.node_indices();
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), p.len());
+    }
+}

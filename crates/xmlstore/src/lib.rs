@@ -1,0 +1,100 @@
+//! # seda-xmlstore
+//!
+//! Native XML document store underpinning the SEDA reproduction.  It plays the
+//! role DB2 pureXML plays in the paper: it stores XML documents, assigns Dewey
+//! order identifiers to nodes, interns element names and root-to-leaf *context*
+//! paths, and supports retrieval of node content by node id.
+//!
+//! The store is deliberately simple — an in-memory arena per document with
+//! shared intern tables per collection — because the paper's algorithms only
+//! need ordered node references, context lookup and content retrieval from the
+//! storage layer.
+//!
+//! ```
+//! use seda_xmlstore::{Collection, parse_into};
+//!
+//! let mut collection = Collection::new();
+//! parse_into(&mut collection, "us.xml",
+//!     "<country><name>United States</name><year>2006</year></country>").unwrap();
+//! let year = collection.paths().get_str(collection.symbols(), "/country/year").unwrap();
+//! let nodes = collection.nodes_with_path(year);
+//! assert_eq!(collection.content(nodes[0]).unwrap(), "2006");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod dewey;
+pub mod document;
+pub mod error;
+pub mod node;
+pub mod parse;
+pub mod path;
+pub mod symbol;
+
+pub use collection::Collection;
+pub use dewey::DeweyId;
+pub use document::{Document, DocumentBuilder, RelativeStep};
+pub use error::{Result, XmlStoreError};
+pub use node::{DocId, Node, NodeId, NodeKind};
+pub use parse::{parse_collection, parse_into};
+pub use path::{LabelPath, PathId, PathTable};
+pub use symbol::{Symbol, SymbolTable};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::dewey::DeweyId;
+
+    fn arb_dewey() -> impl Strategy<Value = DeweyId> {
+        proptest::collection::vec(1u32..20, 1..8).prop_map(|v| DeweyId::new(v).unwrap())
+    }
+
+    proptest! {
+        /// The ordering must be a total order consistent with equality.
+        #[test]
+        fn dewey_ordering_is_consistent(a in arb_dewey(), b in arb_dewey()) {
+            use std::cmp::Ordering;
+            match a.cmp(&b) {
+                Ordering::Equal => prop_assert_eq!(&a, &b),
+                Ordering::Less => prop_assert!(b.cmp(&a) == Ordering::Greater),
+                Ordering::Greater => prop_assert!(b.cmp(&a) == Ordering::Less),
+            }
+        }
+
+        /// An ancestor's Dewey id always sorts before its descendants.
+        #[test]
+        fn ancestors_sort_before_descendants(a in arb_dewey(), extra in proptest::collection::vec(1u32..20, 1..4)) {
+            let mut child = a.clone();
+            for c in extra { child = child.child(c); }
+            prop_assert!(a.is_ancestor_of(&child));
+            prop_assert!(a < child);
+            prop_assert_eq!(a.common_ancestor(&child).unwrap(), a.clone());
+        }
+
+        /// tree_distance is a metric: symmetric, zero iff equal, triangle holds
+        /// for nodes within one document tree.
+        #[test]
+        fn tree_distance_is_a_metric(a in arb_dewey(), b in arb_dewey(), c in arb_dewey()) {
+            prop_assert_eq!(a.tree_distance(&b), b.tree_distance(&a));
+            prop_assert_eq!(a.tree_distance(&a), 0);
+            if a.tree_distance(&b) == 0 { prop_assert_eq!(&a, &b); }
+            prop_assert!(a.tree_distance(&c) <= a.tree_distance(&b) + b.tree_distance(&c));
+        }
+
+        /// parent() undoes child().
+        #[test]
+        fn parent_undoes_child(a in arb_dewey(), ord in 1u32..50) {
+            prop_assert_eq!(a.child(ord).parent().unwrap(), a);
+        }
+
+        /// Display/FromStr round-trip.
+        #[test]
+        fn dewey_display_roundtrip(a in arb_dewey()) {
+            let parsed: DeweyId = a.to_string().parse().unwrap();
+            prop_assert_eq!(parsed, a);
+        }
+    }
+}

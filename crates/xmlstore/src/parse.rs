@@ -1,0 +1,200 @@
+//! Parsing XML text into the store via `quick-xml`.
+
+use quick_xml::events::Event;
+use quick_xml::Reader;
+
+use crate::collection::Collection;
+use crate::error::{Result, XmlStoreError};
+use crate::node::DocId;
+
+/// Parses a single XML document from text and inserts it into the collection.
+///
+/// Namespaces are not expanded: SEDA's contexts and query terms operate on the
+/// literal tag names that appear in the data, so prefixed names are kept
+/// verbatim.  Comments, processing instructions and the XML declaration are
+/// skipped; CDATA is treated as text.
+pub fn parse_into(collection: &mut Collection, uri: &str, xml: &str) -> Result<DocId> {
+    let mut reader = Reader::from_str(xml);
+    reader.trim_text(true);
+
+    let mut builder = collection.build_document(uri);
+    let mut depth = 0usize;
+    let mut saw_root = false;
+
+    loop {
+        match reader.read_event() {
+            Ok(Event::Start(start)) => {
+                let name = String::from_utf8_lossy(start.name().as_ref()).into_owned();
+                builder.start_element(&name)?;
+                saw_root = true;
+                depth += 1;
+                for attr in start.attributes() {
+                    let attr = attr.map_err(|e| XmlStoreError::Parse(e.to_string()))?;
+                    let key = String::from_utf8_lossy(attr.key.as_ref()).into_owned();
+                    let value = attr
+                        .unescape_value()
+                        .map_err(|e| XmlStoreError::Parse(e.to_string()))?
+                        .into_owned();
+                    builder.attribute(&key, &value)?;
+                }
+            }
+            Ok(Event::Empty(start)) => {
+                let name = String::from_utf8_lossy(start.name().as_ref()).into_owned();
+                builder.start_element(&name)?;
+                saw_root = true;
+                for attr in start.attributes() {
+                    let attr = attr.map_err(|e| XmlStoreError::Parse(e.to_string()))?;
+                    let key = String::from_utf8_lossy(attr.key.as_ref()).into_owned();
+                    let value = attr
+                        .unescape_value()
+                        .map_err(|e| XmlStoreError::Parse(e.to_string()))?
+                        .into_owned();
+                    builder.attribute(&key, &value)?;
+                }
+                builder.end_element()?;
+            }
+            Ok(Event::End(_)) => {
+                builder.end_element()?;
+                depth = depth.saturating_sub(1);
+            }
+            Ok(Event::Text(text)) => {
+                let value =
+                    text.unescape().map_err(|e| XmlStoreError::Parse(e.to_string()))?.into_owned();
+                if !value.trim().is_empty() {
+                    builder.text(value.trim())?;
+                }
+            }
+            Ok(Event::CData(cdata)) => {
+                let value = String::from_utf8_lossy(&cdata).into_owned();
+                if !value.trim().is_empty() {
+                    builder.text(value.trim())?;
+                }
+            }
+            Ok(Event::Eof) => break,
+            Ok(_) => {}
+            Err(e) => return Err(XmlStoreError::Parse(e.to_string())),
+        }
+    }
+
+    if !saw_root {
+        return Err(XmlStoreError::EmptyDocument);
+    }
+    if depth != 0 {
+        return Err(XmlStoreError::Parse("unbalanced element tags".into()));
+    }
+    let document = builder.finish()?;
+    collection.insert(document)
+}
+
+/// Parses many XML documents (uri, text) into a fresh collection.
+pub fn parse_collection<'a, I>(documents: I) -> Result<Collection>
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut collection = Collection::new();
+    for (uri, xml) in documents {
+        parse_into(&mut collection, uri, xml)?;
+    }
+    Ok(collection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FACTBOOK_FRAGMENT: &str = r#"
+        <country id="us2006">
+          <name>United States</name>
+          <year>2006</year>
+          <economy>
+            <GDP_ppp>12.31T</GDP_ppp>
+            <import_partners>
+              <item><trade_country>China</trade_country><percentage>15</percentage></item>
+              <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+            </import_partners>
+          </economy>
+        </country>"#;
+
+    #[test]
+    fn parses_factbook_fragment() {
+        let mut c = Collection::new();
+        let doc_id = parse_into(&mut c, "us2006.xml", FACTBOOK_FRAGMENT).unwrap();
+        let doc = c.document(doc_id).unwrap();
+        assert!(doc.len() > 10);
+        let percentage =
+            c.paths().get_str(c.symbols(), "/country/economy/import_partners/item/percentage");
+        assert!(percentage.is_some());
+        assert_eq!(c.nodes_with_path(percentage.unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn attributes_become_child_nodes() {
+        let mut c = Collection::new();
+        parse_into(&mut c, "a.xml", FACTBOOK_FRAGMENT).unwrap();
+        let id_path = c.paths().get_str(c.symbols(), "/country/id").unwrap();
+        let nodes = c.nodes_with_path(id_path);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(c.content(nodes[0]).unwrap(), "us2006");
+    }
+
+    #[test]
+    fn self_closing_elements_are_supported() {
+        let mut c = Collection::new();
+        parse_into(&mut c, "s.xml", r#"<root><empty flag="yes"/><full>text</full></root>"#)
+            .unwrap();
+        let flag = c.paths().get_str(c.symbols(), "/root/empty/flag").unwrap();
+        assert_eq!(c.nodes_with_path(flag).len(), 1);
+    }
+
+    #[test]
+    fn entities_are_unescaped() {
+        let mut c = Collection::new();
+        parse_into(&mut c, "e.xml", r#"<root><t>a &amp; b &lt; c</t></root>"#).unwrap();
+        let t = c.paths().get_str(c.symbols(), "/root/t").unwrap();
+        assert_eq!(c.content(c.nodes_with_path(t)[0]).unwrap(), "a & b < c");
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let mut c = Collection::new();
+        parse_into(&mut c, "cd.xml", r#"<root><t><![CDATA[raw <text>]]></t></root>"#).unwrap();
+        let t = c.paths().get_str(c.symbols(), "/root/t").unwrap();
+        assert_eq!(c.content(c.nodes_with_path(t)[0]).unwrap(), "raw <text>");
+    }
+
+    #[test]
+    fn mixed_content_is_concatenated() {
+        let mut c = Collection::new();
+        parse_into(&mut c, "m.xml", r#"<p>import partners of <b>United States</b> in 2006</p>"#)
+            .unwrap();
+        let p = c.paths().get_str(c.symbols(), "/p").unwrap();
+        let content = c.content(c.nodes_with_path(p)[0]).unwrap();
+        assert!(content.contains("import partners of"));
+        assert!(content.contains("United States"));
+        assert!(content.contains("2006"));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let mut c = Collection::new();
+        assert!(parse_into(&mut c, "empty.xml", "   ").is_err());
+        assert!(parse_into(&mut c, "comment.xml", "<!-- nothing here -->").is_err());
+    }
+
+    #[test]
+    fn malformed_xml_is_rejected() {
+        let mut c = Collection::new();
+        assert!(parse_into(&mut c, "bad.xml", "<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn parse_collection_builds_shared_tables() {
+        let docs = vec![
+            ("a.xml", "<country><name>France</name></country>"),
+            ("b.xml", "<country><name>Spain</name></country>"),
+        ];
+        let c = parse_collection(docs).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.distinct_path_count(), 2);
+    }
+}

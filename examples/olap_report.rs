@@ -1,0 +1,78 @@
+//! OLAP report — after deriving the star schema for Query 1, run the kind of
+//! analysis an off-the-shelf OLAP tool would: rollups, slices and per-year
+//! averages over the import-trade-percentage cube, plus a second cube over
+//! the GDP fact (which spans the GDP / GDP_ppp schema evolution).
+//!
+//! Run with `cargo run --release --example olap_report`.
+
+use seda_core::{ContextSelections, EngineConfig, SedaEngine, SedaQuery};
+use seda_datagen::{factbook, FactbookConfig};
+use seda_olap::{aggregate, rollup, AggFn, BuildOptions, CubeQuery, Registry};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let collection = factbook::generate(&FactbookConfig::paper_scaled(80, 6))?;
+    let engine =
+        SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())?;
+    let c = engine.collection();
+
+    // Query 1, refined to import partners.
+    let query = SedaQuery::parse(
+        r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
+    )?;
+    let mut selections = ContextSelections::none();
+    selections.select(0, vec![c.paths().get_str(c.symbols(), "/country/name").unwrap()]);
+    selections.select(
+        1,
+        vec![c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
+            .unwrap()],
+    );
+    selections.select(
+        2,
+        vec![c
+            .paths()
+            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
+            .unwrap()],
+    );
+    let result = engine.complete_results(&query, &selections, &[]);
+    // Augment with the GDP fact so two cubes are produced.
+    let build = engine.build_star_schema(
+        &result,
+        &BuildOptions { add: vec!["GDP".into()], remove: vec![] },
+    );
+
+    let fact = build.schema.fact("import-trade-percentage").expect("percentage fact");
+    println!("== import-trade-percentage cube ({} rows) ==", fact.len());
+
+    println!("\nrollup over (year, import-country), SUM of percentage:");
+    for level in rollup(fact, &["year", "import-country"], "import-trade-percentage", AggFn::Sum)? {
+        println!("  group by {:?}: {} cells", level.group_by, level.len());
+        for cell in level.cells.iter().take(4) {
+            println!("    {:?} = {:.1}", cell.coordinates, cell.value);
+        }
+    }
+
+    println!("\nslice year=2006, AVG percentage by partner:");
+    let sliced = aggregate(
+        fact,
+        &CubeQuery::sum(&["import-country"], "import-trade-percentage")
+            .with_agg(AggFn::Avg)
+            .filter("year", "2006"),
+    )?;
+    for cell in sliced.cells.iter().take(8) {
+        println!("  {:<16} {:>6.2}%", cell.coordinates[0], cell.value);
+    }
+
+    if let Some(gdp) = build.schema.fact("GDP") {
+        println!("\n== GDP cube ({} rows, spans GDP and GDP_ppp spellings) ==", gdp.len());
+        let by_year = aggregate(gdp, &CubeQuery::sum(&["year"], "GDP").with_agg(AggFn::Avg))?;
+        println!("average GDP by year:");
+        for cell in &by_year.cells {
+            println!("  {:<6} {:>18.3e}", cell.coordinates[0], cell.value);
+        }
+    }
+
+    println!("\nwarnings: {}", build.warnings.len());
+    Ok(())
+}

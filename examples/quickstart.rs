@@ -1,0 +1,93 @@
+//! Quickstart: load a handful of XML documents, run a SEDA query, inspect the
+//! summaries, and derive a data cube — the Figure 6 control flow in ~60 lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use seda_core::{EngineConfig, SedaEngine, Session};
+use seda_olap::{BuildOptions, CubeQuery, Registry};
+use seda_xmlstore::parse_collection;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An XML collection (normally loaded from files; see seda-datagen for
+    //    paper-scale corpora).
+    let collection = parse_collection(vec![
+        (
+            "us2006.xml",
+            r#"<country><name>United States</name><year>2006</year>
+                 <economy><GDP_ppp>12.31T</GDP_ppp><import_partners>
+                   <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                   <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                 </import_partners></economy></country>"#,
+        ),
+        (
+            "us2005.xml",
+            r#"<country><name>United States</name><year>2005</year>
+                 <economy><GDP_ppp>12.0T</GDP_ppp><import_partners>
+                   <item><trade_country>China</trade_country><percentage>13.8</percentage></item>
+                   <item><trade_country>Mexico</trade_country><percentage>10.3</percentage></item>
+                 </import_partners></economy></country>"#,
+        ),
+        (
+            "mexico2003.xml",
+            r#"<country><name>Mexico</name><year>2003</year>
+                 <economy><GDP>924.4B</GDP><export_partners>
+                   <item><trade_country>United States</trade_country><percentage>70.6</percentage></item>
+                 </export_partners></economy></country>"#,
+        ),
+    ])?;
+
+    // 2. Build the engine: data graph, full-text indexes, dataguides.
+    let engine =
+        SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())?;
+    println!("dataguides: {:?}", engine.dataguide_stats());
+
+    // 3. Search: the paper's Query 1.
+    let mut session = Session::new(&engine);
+    let top_k = session
+        .submit_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)?;
+    println!("\ntop-{} tuples:", top_k.tuples.len());
+    for tuple in &top_k.tuples {
+        let contents: Vec<String> = tuple
+            .nodes
+            .iter()
+            .map(|&n| engine.collection().content(n).unwrap_or_default())
+            .collect();
+        println!("  score {:.3}  {:?}", tuple.score, contents);
+    }
+
+    // 4. Explore: context summary (which contexts does each term match?).
+    let summary = session.context_summary().expect("summary available after submit");
+    for bucket in &summary.buckets {
+        println!("\ncontexts for {}:", bucket.label);
+        for line in bucket.display(engine.collection()) {
+            println!("  {line}");
+        }
+    }
+
+    // 5. Discover: connection summary from the top-k results.
+    let connections = session.connection_summary().expect("connections available");
+    println!("\nconnections:");
+    for line in connections.display(engine.collection()) {
+        println!("  {line}");
+    }
+
+    // 6. Analyze: derive the star schema and aggregate.
+    let build = session.build_cube(&BuildOptions::default()).expect("cube built");
+    println!("\nwarnings: {:?}", build.warnings);
+    if let Some(fact) = build.schema.fact("import-trade-percentage") {
+        println!("\nfact table {} ({} rows):", fact.name, fact.len());
+        for row in &fact.rows {
+            println!("  {:?} -> {:?}", row.dimensions, row.measures);
+        }
+    }
+    if let Some(cube) = session.aggregate(
+        "import-trade-percentage",
+        &CubeQuery::sum(&["import-country"], "import-trade-percentage"),
+    ) {
+        println!("\ntotal import percentage by partner:");
+        for cell in &cube.cells {
+            println!("  {:<12} {:>6.1} (from {} rows)", cell.coordinates[0], cell.value, cell.count);
+        }
+    }
+    Ok(())
+}

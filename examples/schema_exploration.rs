@@ -1,0 +1,87 @@
+//! Schema exploration — reproduces Table 1 of the paper: dataguide statistics
+//! at a 40% overlap threshold over the four (synthetic) data sets, plus the
+//! threshold-sweep ablation the paper discusses in Sec. 6.1.
+//!
+//! Run with `cargo run --release --example schema_exploration`
+//! (set `SEDA_TABLE1_SCALE=1.0` for paper-sized corpora).
+
+use seda_datagen::Dataset;
+use seda_dataguide::DataGuideSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::var("SEDA_TABLE1_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+
+    println!("Table 1: Dataguide statistics for threshold of 40% (corpus scale {scale})\n");
+    println!(
+        "{:<26} {:>12} {:>14} {:>22}",
+        "data set", "# documents", "# data guides", "(paper docs -> guides)"
+    );
+    for dataset in Dataset::ALL {
+        let collection = scaled(dataset, scale)?;
+        let guides = DataGuideSet::build(&collection, 0.4)?;
+        println!(
+            "{:<26} {:>12} {:>14} {:>15} -> {}",
+            dataset.name(),
+            collection.len(),
+            guides.len(),
+            dataset.paper_document_count(),
+            dataset.paper_dataguide_count()
+        );
+    }
+
+    println!("\nReduction factor vs overlap threshold (Sec. 6.1 ablation):\n");
+    println!("{:<26} {:>8} {:>8} {:>8} {:>8} {:>8}", "data set", "0.0", "0.2", "0.4", "0.6", "0.8");
+    for dataset in Dataset::ALL {
+        let collection = scaled(dataset, scale.min(0.1))?;
+        let mut cells = Vec::new();
+        for threshold in [0.0, 0.2, 0.4, 0.6, 0.8] {
+            let guides = DataGuideSet::build(&collection, threshold)?;
+            cells.push(format!("{:.1}x", collection.len() as f64 / guides.len() as f64));
+        }
+        println!(
+            "{:<26} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            dataset.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4]
+        );
+    }
+    Ok(())
+}
+
+fn scaled(dataset: Dataset, scale: f64) -> seda_xmlstore::Result<seda_xmlstore::Collection> {
+    use seda_datagen::*;
+    Ok(match dataset {
+        Dataset::GoogleBase => {
+            let mut config = GoogleBaseConfig::paper();
+            config.items = ((config.items as f64 * scale) as usize).max(100);
+            googlebase::generate(&config)?
+        }
+        Dataset::Mondial => {
+            let mut config = MondialConfig::paper();
+            config.countries = ((config.countries as f64 * scale) as usize).max(10);
+            config.provinces = ((config.provinces as f64 * scale) as usize).max(10);
+            config.cities = ((config.cities as f64 * scale) as usize).max(20);
+            config.seas = ((config.seas as f64 * scale) as usize).max(4);
+            config.rivers = ((config.rivers as f64 * scale) as usize).max(4);
+            config.organizations = ((config.organizations as f64 * scale) as usize).max(3);
+            config.features = ((config.features as f64 * scale) as usize).max(4);
+            mondial::generate(&config)?
+        }
+        Dataset::RecipeMl => {
+            let mut config = RecipeMlConfig::paper();
+            config.recipes = ((config.recipes as f64 * scale) as usize).max(100);
+            recipeml::generate(&config)?
+        }
+        Dataset::WorldFactbook => {
+            let countries = ((267.0 * scale) as usize).max(12);
+            let years = if scale >= 0.5 { 6 } else { 3 };
+            factbook::generate(&FactbookConfig::paper_scaled(countries, years))?
+        }
+    })
+}

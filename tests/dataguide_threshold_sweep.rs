@@ -1,0 +1,73 @@
+//! Experiment A1: sweeping the dataguide overlap threshold.  The paper fixes
+//! 40% and notes that the effectiveness of merging "depends on the dataset,
+//! ranging from a factor of 3 to a factor of 100"; higher thresholds merge
+//! less.  These tests pin the monotone behaviour and the per-dataset ordering
+//! of reduction factors.
+
+use seda_datagen::Dataset;
+use seda_dataguide::DataGuideSet;
+
+fn reduction(dataset: Dataset, threshold: f64) -> (usize, usize, f64) {
+    let collection = dataset.generate_small().unwrap();
+    let guides = DataGuideSet::build(&collection, threshold).unwrap();
+    let stats = guides.stats(collection.len());
+    (collection.len(), guides.len(), stats.reduction_factor)
+}
+
+#[test]
+fn guide_count_grows_with_the_threshold() {
+    for dataset in Dataset::ALL {
+        let collection = dataset.generate_small().unwrap();
+        let mut previous = 0usize;
+        for threshold in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let guides = DataGuideSet::build(&collection, threshold).unwrap();
+            assert!(
+                guides.len() >= previous,
+                "{}: guide count must not shrink as the threshold rises ({} -> {} at {threshold})",
+                dataset.name(),
+                previous,
+                guides.len()
+            );
+            previous = guides.len();
+        }
+    }
+}
+
+#[test]
+fn regular_datasets_reduce_more_than_heterogeneous_ones() {
+    let (_, _, recipe) = reduction(Dataset::RecipeMl, 0.4);
+    let (_, _, google) = reduction(Dataset::GoogleBase, 0.4);
+    let (_, _, factbook) = reduction(Dataset::WorldFactbook, 0.4);
+    // RecipeML (3 shapes) reduces the most; the Factbook the least — the
+    // ordering the paper's Table 1 exhibits.
+    assert!(recipe > google, "recipe {recipe} vs google {google}");
+    assert!(google > factbook, "google {google} vs factbook {factbook}");
+    assert!(factbook >= 1.0);
+}
+
+#[test]
+fn threshold_one_only_merges_subsets() {
+    // At a threshold > 1.0 nothing can merge except exact subsets, so the
+    // number of dataguides equals the number of distinct "maximal" shapes.
+    let collection = Dataset::GoogleBase.generate_small().unwrap();
+    let strict = DataGuideSet::build(&collection, 1.01).unwrap();
+    let at_one = DataGuideSet::build(&collection, 1.0).unwrap();
+    assert_eq!(strict.len(), at_one.len(), "identical shapes still collapse at threshold 1.0");
+    // Google Base categories have identical path sets per category, so even
+    // the strictest threshold keeps one guide per category.
+    let loose = DataGuideSet::build(&collection, 0.4).unwrap();
+    assert_eq!(strict.len(), loose.len());
+}
+
+#[test]
+fn total_summary_size_shrinks_when_merging() {
+    let collection = Dataset::Mondial.generate_small().unwrap();
+    let merged = DataGuideSet::build(&collection, 0.4).unwrap();
+    let unmerged = DataGuideSet::build(&collection, 1.01).unwrap();
+    let merged_paths = merged.stats(collection.len()).total_paths;
+    let unmerged_paths = unmerged.stats(collection.len()).total_paths;
+    assert!(
+        merged_paths <= unmerged_paths,
+        "merging reduces the number and total size of dataguides ({merged_paths} vs {unmerged_paths})"
+    );
+}
