@@ -16,7 +16,10 @@ use seda_olap::Registry;
 
 fn sweep_thresholds() {
     println!("\n=== Experiment A1: dataguide reduction factor vs overlap threshold ===");
-    println!("{:<25} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}", "data set", "#docs", "0.0", "0.2", "0.4", "0.6", "0.8");
+    println!(
+        "{:<25} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "data set", "#docs", "0.0", "0.2", "0.4", "0.6", "0.8"
+    );
     for dataset in Dataset::ALL {
         let collection = scaled_collection(dataset, 0.05);
         let mut cells = Vec::new();
@@ -48,8 +51,7 @@ fn false_positive_sweep() {
     .unwrap();
     let query = seda_bench::query1();
     let topk = engine.top_k(&query, &ContextSelections::none(), 20);
-    let instantiated =
-        discover_connections(&collection, engine.graph(), &topk.node_tuples(), 12);
+    let instantiated = discover_connections(&collection, engine.graph(), &topk.node_tuples(), 12);
     // Candidate pairs: every pair of contexts of the query's context buckets.
     let summary = engine.context_summary(&query);
     let mut pairs = Vec::new();
@@ -58,7 +60,10 @@ fn false_positive_sweep() {
             pairs.push((a, b));
         }
     }
-    println!("{:>9} {:>12} {:>18} {:>16}", "threshold", "#dataguides", "guide connections", "false positives");
+    println!(
+        "{:>9} {:>12} {:>18} {:>16}",
+        "threshold", "#dataguides", "guide connections", "false positives"
+    );
     for threshold in [0.1, 0.4, 0.7, 1.0] {
         let guides = DataGuideSet::build(&collection, threshold).unwrap();
         let links = guide_links(&collection, engine.graph(), &guides);

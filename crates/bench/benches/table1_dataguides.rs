@@ -2,13 +2,17 @@
 //! for the four data sets (Google Base, Mondial, RecipeML, World Factbook).
 //!
 //! The harness prints the reproduced table (paper vs measured) once and then
-//! benchmarks the dataguide merge itself per data set.
+//! benchmarks the dataguide build itself per data set, in two variants: the
+//! sequential single-pass build and the shard → merge build whose
+//! per-document guide computation fans out across a worker pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use seda_bench::{render_table1, scaled_collection, table1};
+use seda_core::parallel::parallel_map;
 use seda_datagen::Dataset;
 use seda_dataguide::DataGuideSet;
+use seda_xmlstore::DocId;
 
 /// Corpus scale used for the printed table; override with
 /// `SEDA_TABLE1_SCALE=1.0` to reproduce the paper-sized corpora.
@@ -23,13 +27,29 @@ fn bench_table1(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table1_dataguide_merge");
     group.sample_size(10);
+    let threads =
+        std::env::var("SEDA_BUILD_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4usize);
     for dataset in Dataset::ALL {
         let collection = scaled_collection(dataset, 0.05);
+        let name = dataset.name().replace(' ', "_");
         group.bench_with_input(
-            BenchmarkId::new("merge_40pct", dataset.name().replace(' ', "_")),
+            BenchmarkId::new("sequential_40pct", &name),
             &collection,
             |b, collection| {
                 b.iter(|| DataGuideSet::build(collection, 0.4).expect("dataguide build").len())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded_40pct", &name),
+            &collection,
+            |b, collection| {
+                b.iter(|| {
+                    let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
+                    let shards = parallel_map(&docs, threads, |&doc| {
+                        DataGuideSet::build_shard(collection, [doc]).expect("dataguide shard")
+                    });
+                    DataGuideSet::merge(0.4, shards).len()
+                })
             },
         );
     }

@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use seda_core::ContextSelections;
 use seda_bench::{factbook_engine, query1};
+use seda_core::ContextSelections;
 use seda_topk::{TopKConfig, TopKSearcher};
 
 fn bench_topk(c: &mut Criterion) {

@@ -17,11 +17,8 @@ fn query1_pattern() -> TwigPattern {
         "/country/economy/import_partners/item/percentage",
     ])
     .unwrap();
-    let name_node = pattern
-        .node_indices()
-        .into_iter()
-        .find(|&i| pattern.node(i).label == "name")
-        .unwrap();
+    let name_node =
+        pattern.node_indices().into_iter().find(|&i| pattern.node(i).label == "name").unwrap();
     pattern.set_predicate(name_node, FullTextQuery::phrase("United States"));
     pattern
 }
@@ -31,8 +28,7 @@ fn bench_twig(c: &mut Criterion) {
     group.sample_size(10);
 
     for &countries in &[30usize, 90, 180] {
-        let collection =
-            factbook::generate(&FactbookConfig::paper_scaled(countries, 6)).unwrap();
+        let collection = factbook::generate(&FactbookConfig::paper_scaled(countries, 6)).unwrap();
         let pattern = query1_pattern();
         group.bench_with_input(
             BenchmarkId::new("query1_twig", countries * 6),

@@ -11,7 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use seda_core::{ContextSelections, EngineConfig, SedaEngine, SedaQuery};
+use seda_core::{BuildProfile, ContextSelections, EngineConfig, SedaEngine, SedaQuery};
 use seda_datagen::{
     factbook, googlebase, mondial, recipeml, Dataset, FactbookConfig, GoogleBaseConfig,
     MondialConfig, RecipeMlConfig,
@@ -143,10 +143,50 @@ pub fn factbook_stats(collection: &Collection) -> FactbookStats {
 
 /// Builds a SEDA engine over a Factbook-like corpus of the given size.
 pub fn factbook_engine(countries: usize, years: usize) -> SedaEngine {
+    factbook_engine_with(countries, years, 1)
+}
+
+/// Builds a SEDA engine over a Factbook-like corpus with the given build
+/// parallelism (`1` = sequential single-pass, `0` = auto, `n` = `n` workers).
+pub fn factbook_engine_with(countries: usize, years: usize, parallelism: usize) -> SedaEngine {
     let collection = factbook::generate(&FactbookConfig::paper_scaled(countries, years))
         .expect("generate factbook");
-    SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+    SedaEngine::build(
+        collection,
+        Registry::factbook_defaults(),
+        EngineConfig { parallelism, ..EngineConfig::default() },
+    )
+    .expect("engine build")
+}
+
+/// Builds the given collection sequentially and with `threads` workers and
+/// returns both [`BuildProfile`]s, so benches and reports can show the
+/// measured shard/merge split and the parallel speedup without regenerating
+/// the corpus per variant.
+pub fn build_profiles(collection: &Collection, threads: usize) -> (BuildProfile, BuildProfile) {
+    let profile = |parallelism: usize| {
+        SedaEngine::build(
+            collection.clone(),
+            Registry::factbook_defaults(),
+            EngineConfig { parallelism, ..EngineConfig::default() },
+        )
         .expect("engine build")
+        .build_profile()
+        .clone()
+    };
+    (profile(1), profile(threads))
+}
+
+/// Renders a sequential-vs-parallel build comparison from two profiles.
+pub fn render_build_comparison(sequential: &BuildProfile, parallel: &BuildProfile) -> String {
+    let speedup =
+        if parallel.total_secs > 0.0 { sequential.total_secs / parallel.total_secs } else { 0.0 };
+    format!(
+        "sequential:\n{}parallel ({} threads):\n{}speedup: {speedup:.2}x\n",
+        sequential.render(),
+        parallel.parallelism,
+        parallel.render()
+    )
 }
 
 /// The paper's Query 1.
@@ -181,7 +221,9 @@ pub fn run_query1_cube(engine: &SedaEngine) -> StarSchemaBuild {
 /// Renders the Figure 3(c) fact table (restricted to the United States rows
 /// for readability).
 pub fn render_query1_fact_table(build: &StarSchemaBuild, limit: usize) -> String {
-    let mut out = String::from("Fact table (import-trade-percentage): country, year, import-country, percentage\n");
+    let mut out = String::from(
+        "Fact table (import-trade-percentage): country, year, import-country, percentage\n",
+    );
     if let Some(fact) = build.schema.fact("import-trade-percentage") {
         for row in fact.rows.iter().filter(|r| r.dimensions[0] == "United States").take(limit) {
             out.push_str(&format!(
@@ -228,9 +270,23 @@ mod tests {
     }
 
     #[test]
+    fn build_profiles_surface_the_shard_merge_split() {
+        let collection = factbook::generate(&FactbookConfig::paper_scaled(20, 3)).unwrap();
+        let (sequential, parallel) = build_profiles(&collection, 4);
+        assert_eq!(sequential.parallelism, 1);
+        assert_eq!(sequential.shards, 1);
+        assert_eq!(sequential.merge_secs(), 0.0);
+        assert_eq!(parallel.parallelism, 4);
+        assert_eq!(parallel.shards, parallel.documents);
+        assert!(parallel.merge_secs() > 0.0);
+        assert_eq!(sequential.documents, parallel.documents);
+        let rendered = render_build_comparison(&sequential, &parallel);
+        assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
     fn factbook_stats_capture_the_long_tail() {
-        let collection =
-            factbook::generate(&FactbookConfig::paper_scaled(40, 3)).unwrap();
+        let collection = factbook::generate(&FactbookConfig::paper_scaled(40, 3)).unwrap();
         let stats = factbook_stats(&collection);
         assert_eq!(stats.documents, 120);
         assert!(stats.distinct_paths > 100);

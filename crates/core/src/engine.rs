@@ -1,19 +1,34 @@
 //! The SEDA execution engine (Fig. 4): top-k search unit, context summary
 //! generator, connection summary generator, complete result set generator and
 //! data cube processor, built over the storage and indexing substrates.
+//!
+//! # Build lifecycle
+//!
+//! Every index substrate follows a **shard → merge** lifecycle: a per-document
+//! shard phase that parallelises freely (documents share the collection's
+//! intern tables, so shards carry globally valid ids) and a merge phase that
+//! combines shards deterministically in document order.  [`SedaEngine::build`]
+//! orchestrates the fan-out across a scoped worker pool, gated by
+//! [`EngineConfig::parallelism`], and records a [`BuildProfile`] with
+//! per-substrate shard and merge wall times.
+
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use seda_datagraph::{shortest_path, DataGraph, GraphConfig};
-use seda_dataguide::{discover_connections, guide_links, Connection, DataGuideSet, DataGuideStats, GuideLink};
+use seda_dataguide::{
+    discover_connections, guide_links, Connection, DataGuideSet, DataGuideStats, GuideLink,
+};
 use seda_olap::{BuildOptions, QueryResultTable, Registry, StarSchemaBuild, StarSchemaBuilder};
 use seda_textindex::{ContextIndex, CountStorage, FullTextQuery, NodeIndex};
 use seda_topk::{TermInput, TopKConfig, TopKResult, TopKSearcher};
 use seda_twigjoin::{evaluate_twig, Axis, TwigPattern};
-use seda_xmlstore::{Collection, NodeId, PathId};
+use seda_xmlstore::{Collection, DocId, NodeId, PathId};
 
+use crate::parallel::{effective_parallelism, parallel_map};
 use crate::query::{ContextSpec, SedaQuery};
-use crate::summaries::{ContextBucket, ContextSelections, ContextSummary, ConnectionSummary};
+use crate::summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
 
 /// Configuration of the engine's indexes and algorithms.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,6 +48,11 @@ pub struct EngineConfig {
     /// Upper bound on the number of complete-result tuples materialised by
     /// the fallback graph-enumeration path.
     pub complete_result_limit: usize,
+    /// Worker threads for the shard-parallel engine build: `1` (the default)
+    /// builds every substrate sequentially, `0` uses the machine's available
+    /// parallelism, any other value is taken literally.  The build output is
+    /// identical for every setting.
+    pub parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -44,7 +64,107 @@ impl Default for EngineConfig {
             count_storage: CountStorage::DocumentStore,
             connection_max_depth: 12,
             complete_result_limit: 500_000,
+            parallelism: 1,
         }
+    }
+}
+
+/// Wall time of one substrate's build, split into its two lifecycle phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Seconds spent building per-document shards (the parallel phase).
+    pub shard_secs: f64,
+    /// Seconds spent merging shards (the sequential phase).  Zero when the
+    /// substrate ran through its sequential entry point, which folds the
+    /// merge into the same timed pass.
+    pub merge_secs: f64,
+}
+
+impl PhaseProfile {
+    fn finish_shards(start: Instant) -> (Self, Instant) {
+        let now = Instant::now();
+        (PhaseProfile { shard_secs: (now - start).as_secs_f64(), merge_secs: 0.0 }, now)
+    }
+
+    fn finish_merge(&mut self, merge_start: Instant) {
+        self.merge_secs = merge_start.elapsed().as_secs_f64();
+    }
+
+    /// Total seconds spent on this substrate.
+    pub fn total_secs(&self) -> f64 {
+        self.shard_secs + self.merge_secs
+    }
+}
+
+/// Timings and shape of one [`SedaEngine::build`] run, surfaced through
+/// `seda-bench` so sequential-vs-parallel speedups are measured rather than
+/// asserted.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildProfile {
+    /// Worker threads actually used (after resolving `parallelism == 0` and
+    /// clamping to the document count).
+    pub parallelism: usize,
+    /// Documents in the collection.
+    pub documents: usize,
+    /// Shards fanned out per substrate: one per document on the parallel
+    /// path.  `1` means the sequential entry points ran on the build thread
+    /// (internally they still shard per document and merge in order — the
+    /// two paths share one implementation), so all time lands in
+    /// `shard_secs`.
+    pub shards: usize,
+    /// Node full-text index build.
+    pub node_index: PhaseProfile,
+    /// Keyword → context index build.
+    pub context_index: PhaseProfile,
+    /// Data-graph construction and resolution.
+    pub graph: PhaseProfile,
+    /// Dataguide computation and threshold merge.
+    pub guides: PhaseProfile,
+    /// Inter-dataguide link derivation (always sequential).
+    pub links_secs: f64,
+    /// End-to-end engine build wall time.
+    pub total_secs: f64,
+}
+
+impl BuildProfile {
+    /// Seconds spent across all shard phases.
+    pub fn shard_secs(&self) -> f64 {
+        self.node_index.shard_secs
+            + self.context_index.shard_secs
+            + self.graph.shard_secs
+            + self.guides.shard_secs
+    }
+
+    /// Seconds spent across all merge phases.
+    pub fn merge_secs(&self) -> f64 {
+        self.node_index.merge_secs
+            + self.context_index.merge_secs
+            + self.graph.merge_secs
+            + self.guides.merge_secs
+    }
+
+    /// Renders the profile as a small human-readable table.
+    pub fn render(&self) -> String {
+        let row = |name: &str, p: &PhaseProfile| {
+            format!(
+                "  {name:<14} {:>9.2}ms shard  {:>9.2}ms merge\n",
+                p.shard_secs * 1e3,
+                p.merge_secs * 1e3
+            )
+        };
+        let mut out = format!(
+            "build profile: {} docs, {} shards, {} thread(s), {:.2}ms total\n",
+            self.documents,
+            self.shards,
+            self.parallelism,
+            self.total_secs * 1e3
+        );
+        out.push_str(&row("node index", &self.node_index));
+        out.push_str(&row("context index", &self.context_index));
+        out.push_str(&row("data graph", &self.graph));
+        out.push_str(&row("dataguides", &self.guides));
+        out.push_str(&format!("  {:<14} {:>9.2}ms\n", "guide links", self.links_secs * 1e3));
+        out
     }
 }
 
@@ -59,22 +179,141 @@ pub struct SedaEngine {
     links: Vec<GuideLink>,
     registry: Registry,
     config: EngineConfig,
+    profile: BuildProfile,
 }
 
 impl SedaEngine {
     /// Builds the engine: constructs the data graph, both full-text indexes
     /// and the dataguide summary over the collection.
+    ///
+    /// With [`EngineConfig::parallelism`] `> 1` (or `0` for auto), each
+    /// substrate fans per-document shard builds out across a scoped worker
+    /// pool and merges the shards in document order; the resulting engine is
+    /// identical to the sequential build.  The timings of both phases are
+    /// recorded in [`SedaEngine::build_profile`].
     pub fn build(
         collection: Collection,
         registry: Registry,
         config: EngineConfig,
     ) -> seda_xmlstore::Result<Self> {
-        let graph = DataGraph::build(&collection, &config.graph);
-        let node_index = NodeIndex::build(&collection);
-        let context_index = ContextIndex::build(&collection, config.count_storage);
-        let guides = DataGuideSet::build(&collection, config.dataguide_threshold)?;
+        let build_start = Instant::now();
+        // More workers than documents cannot help; clamping keeps the
+        // reported parallelism honest and avoids spawning idle workers for
+        // tiny collections.
+        let threads = effective_parallelism(config.parallelism).min(collection.len()).max(1);
+        let mut profile = BuildProfile {
+            parallelism: threads,
+            documents: collection.len(),
+            ..BuildProfile::default()
+        };
+
+        let (graph, node_index, context_index, guides) = if threads <= 1 {
+            profile.shards = 1;
+            Self::build_substrates_sequential(&collection, &config, &mut profile)?
+        } else {
+            profile.shards = collection.len();
+            Self::build_substrates_sharded(&collection, &config, threads, &mut profile)?
+        };
+
+        let links_start = Instant::now();
         let links = guide_links(&collection, &graph, &guides);
-        Ok(SedaEngine { collection, node_index, context_index, graph, guides, links, registry, config })
+        profile.links_secs = links_start.elapsed().as_secs_f64();
+        profile.total_secs = build_start.elapsed().as_secs_f64();
+
+        Ok(SedaEngine {
+            collection,
+            node_index,
+            context_index,
+            graph,
+            guides,
+            links,
+            registry,
+            config,
+            profile,
+        })
+    }
+
+    /// Single-pass sequential builds of all four substrates (the
+    /// `parallelism == 1` path); all time is accounted to the shard phase.
+    fn build_substrates_sequential(
+        collection: &Collection,
+        config: &EngineConfig,
+        profile: &mut BuildProfile,
+    ) -> seda_xmlstore::Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet)> {
+        let t = Instant::now();
+        let graph = DataGraph::build(collection, &config.graph);
+        (profile.graph, _) = PhaseProfile::finish_shards(t);
+
+        let t = Instant::now();
+        let node_index = NodeIndex::build(collection);
+        (profile.node_index, _) = PhaseProfile::finish_shards(t);
+
+        let t = Instant::now();
+        let context_index = ContextIndex::build(collection, config.count_storage);
+        (profile.context_index, _) = PhaseProfile::finish_shards(t);
+
+        let t = Instant::now();
+        let guides = DataGuideSet::build(collection, config.dataguide_threshold)?;
+        (profile.guides, _) = PhaseProfile::finish_shards(t);
+
+        Ok((graph, node_index, context_index, guides))
+    }
+
+    /// Shard-parallel builds of all four substrates: per-document shards are
+    /// fanned out across `threads` workers, then merged in document order.
+    fn build_substrates_sharded(
+        collection: &Collection,
+        config: &EngineConfig,
+        threads: usize,
+        profile: &mut BuildProfile,
+    ) -> seda_xmlstore::Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet)> {
+        let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
+
+        let t = Instant::now();
+        let shards = parallel_map(&docs, threads, |&doc| {
+            DataGraph::build_shard(collection, doc, &config.graph)
+        });
+        let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        let graph = DataGraph::merge(shards);
+        phase.finish_merge(merge_start);
+        profile.graph = phase;
+
+        let t = Instant::now();
+        let shards = parallel_map(&docs, threads, |&doc| {
+            NodeIndex::build_shard(collection.document(doc).expect("doc listed by collection"))
+        });
+        let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        let node_index = NodeIndex::merge(shards);
+        phase.finish_merge(merge_start);
+        profile.node_index = phase;
+
+        let t = Instant::now();
+        let shards = parallel_map(&docs, threads, |&doc| {
+            ContextIndex::build_shard(
+                collection.document(doc).expect("doc listed by collection"),
+                config.count_storage,
+            )
+        });
+        let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        let context_index = ContextIndex::merge(collection, config.count_storage, shards);
+        phase.finish_merge(merge_start);
+        profile.context_index = phase;
+
+        let t = Instant::now();
+        let shards =
+            parallel_map(&docs, threads, |&doc| DataGuideSet::build_shard(collection, [doc]));
+        let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        let shards = shards.into_iter().collect::<seda_xmlstore::Result<Vec<_>>>()?;
+        let guides = DataGuideSet::merge(config.dataguide_threshold, shards);
+        phase.finish_merge(merge_start);
+        profile.guides = phase;
+
+        Ok((graph, node_index, context_index, guides))
+    }
+
+    /// Timings and shape of the build that produced this engine.
+    pub fn build_profile(&self) -> &BuildProfile {
+        &self.profile
     }
 
     /// The underlying collection.
@@ -174,21 +413,28 @@ impl SedaEngine {
                     if tag.contains('*') {
                         // Wildcard tag: fall back to filtering the plain
                         // bucket by the allowed paths of the spec.
-                        let allowed = term.context.allowed_paths(&self.collection).unwrap_or_default();
+                        let allowed =
+                            term.context.allowed_paths(&self.collection).unwrap_or_default();
                         self.context_index
                             .context_bucket(&term.search)
                             .into_iter()
                             .filter(|e| allowed.contains(&e.path))
                             .collect()
                     } else {
-                        self.context_index.context_bucket_with_tag(&self.collection, &term.search, tag)
+                        self.context_index.context_bucket_with_tag(
+                            &self.collection,
+                            &term.search,
+                            tag,
+                        )
                     }
                 }
                 ContextSpec::Disjunction(_) => {
                     let allowed = term.context.allowed_paths(&self.collection);
                     let bucket = self.context_index.context_bucket(&term.search);
                     match allowed {
-                        Some(paths) => bucket.into_iter().filter(|e| paths.contains(&e.path)).collect(),
+                        Some(paths) => {
+                            bucket.into_iter().filter(|e| paths.contains(&e.path)).collect()
+                        }
                         None => bucket,
                     }
                 }
@@ -350,11 +596,9 @@ impl SedaEngine {
         }
 
         let matches = evaluate_twig(&self.collection, &pattern);
-        let columns: Vec<usize> = term_nodes
-            .iter()
-            .map(|&n| matches.column_of(n).unwrap_or(usize::MAX))
-            .collect();
-        if columns.iter().any(|&c| c == usize::MAX) {
+        let columns: Vec<usize> =
+            term_nodes.iter().map(|&n| matches.column_of(n).unwrap_or(usize::MAX)).collect();
+        if columns.contains(&usize::MAX) {
             return Vec::new();
         }
         matches.rows.iter().map(|row| columns.iter().map(|&c| row[c]).collect()).collect()
@@ -446,9 +690,8 @@ impl SedaEngine {
                     }
                 }
                 let reversed: Vec<PathId> = signature.iter().rev().copied().collect();
-                let matched = relevant
-                    .iter()
-                    .any(|c| c.signature == signature || c.signature == reversed);
+                let matched =
+                    relevant.iter().any(|c| c.signature == signature || c.signature == reversed);
                 if !matched {
                     return false;
                 }
@@ -519,14 +762,12 @@ mod tests {
         let summary = e.context_summary(&query1());
         assert_eq!(summary.buckets.len(), 3);
         // "United States" occurs as a country name and as an export partner.
-        let us_paths: Vec<String> = summary.buckets[0]
-            .entries
-            .iter()
-            .map(|p| e.collection().path_string(p.path))
-            .collect();
+        let us_paths: Vec<String> =
+            summary.buckets[0].entries.iter().map(|p| e.collection().path_string(p.path)).collect();
         assert!(us_paths.contains(&"/country/name".to_string()));
-        assert!(us_paths
-            .contains(&"/country/economy/export_partners/item/trade_country".to_string()));
+        assert!(
+            us_paths.contains(&"/country/economy/export_partners/item/trade_country".to_string())
+        );
         // trade_country occurs in two contexts (import and export partners).
         assert_eq!(summary.buckets[1].entries.len(), 2);
         // Frequencies are absolute and sorted descending.
@@ -672,6 +913,90 @@ mod tests {
         assert_eq!(stats.documents, 3);
         assert!(stats.dataguides <= 3 && stats.dataguides >= 1);
         assert!(stats.threshold > 0.39 && stats.threshold < 0.41);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let collection = parse_collection(vec![
+            (
+                "us.xml",
+                r#"<country id="cty-us"><name>United States</name><year>2006</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+            (
+                "sea.xml",
+                r#"<sea id="sea-pac"><name>Pacific Ocean</name>
+                     <bordering country_idref="cty-us"/></sea>"#,
+            ),
+            ("mx.xml", r#"<country id="cty-mx"><name>Mexico</name><year>2003</year></country>"#),
+        ])
+        .unwrap();
+
+        let sequential = SedaEngine::build(
+            collection.clone(),
+            Registry::factbook_defaults(),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let parallel = SedaEngine::build(
+            collection,
+            Registry::factbook_defaults(),
+            EngineConfig { parallelism: 4, ..EngineConfig::default() },
+        )
+        .unwrap();
+
+        assert_eq!(parallel.node_index(), sequential.node_index());
+        assert_eq!(parallel.context_index(), sequential.context_index());
+        assert_eq!(parallel.graph(), sequential.graph());
+        assert_eq!(parallel.guides(), sequential.guides());
+        assert_eq!(parallel.guide_links(), sequential.guide_links());
+        assert_eq!(parallel.dataguide_stats(), sequential.dataguide_stats());
+
+        // Same query, same answers.
+        let q = SedaQuery::parse(r#"(/country/name, *) AND (/sea/name, *)"#).unwrap();
+        let seq_result = sequential.complete_results(&q, &ContextSelections::none(), &[]);
+        let par_result = parallel.complete_results(&q, &ContextSelections::none(), &[]);
+        assert_eq!(seq_result.rows, par_result.rows);
+    }
+
+    #[test]
+    fn build_profile_reflects_the_build_shape() {
+        let e = engine();
+        let profile = e.build_profile();
+        assert_eq!(profile.parallelism, 1);
+        assert_eq!(profile.documents, 3);
+        assert_eq!(profile.shards, 1);
+        assert!(profile.total_secs > 0.0);
+        assert_eq!(profile.merge_secs(), 0.0, "sequential path has no merge phase");
+        assert!(!profile.render().is_empty());
+
+        let collection =
+            parse_collection(vec![("a.xml", "<a><x>1</x></a>"), ("b.xml", "<a><x>2</x></a>")])
+                .unwrap();
+        let parallel = SedaEngine::build(
+            collection,
+            Registry::new(),
+            EngineConfig { parallelism: 2, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let profile = parallel.build_profile();
+        assert_eq!(profile.parallelism, 2);
+        assert_eq!(profile.shards, 2);
+        assert!(profile.render().contains("2 docs"));
+    }
+
+    #[test]
+    fn parallel_build_of_empty_collection_works() {
+        let engine = SedaEngine::build(
+            Collection::new(),
+            Registry::new(),
+            EngineConfig { parallelism: 4, ..EngineConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(engine.collection().len(), 0);
+        assert!(engine.guides().is_empty());
     }
 
     #[test]

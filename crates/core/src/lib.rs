@@ -40,19 +40,20 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod parallel;
 pub mod query;
 pub mod session;
 pub mod summaries;
 
-pub use engine::{EngineConfig, SedaEngine};
+pub use engine::{BuildProfile, EngineConfig, PhaseProfile, SedaEngine};
 pub use query::{ContextSpec, QueryError, QueryTerm, SedaQuery};
 pub use session::{Session, SessionStage};
-pub use summaries::{ContextBucket, ContextSelections, ContextSummary, ConnectionSummary};
+pub use summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
 
 // Re-export the crates a downstream application typically needs alongside the
 // engine, so `seda-core` works as a single entry point.
-pub use seda_dataguide;
 pub use seda_datagraph;
+pub use seda_dataguide;
 pub use seda_olap;
 pub use seda_textindex;
 pub use seda_topk;
@@ -90,11 +91,8 @@ mod proptests {
         fn wildcard_from_name_matches_name(name in "[a-z_]{2,12}") {
             let pattern = format!("{}*{}", &name[..1], &name[name.len()-1..]);
             let spec = ContextSpec::parse(&pattern);
-            match spec {
-                ContextSpec::Tag(t) => {
-                    prop_assert!(crate::query::ContextSpec::parse(&t) != ContextSpec::Any);
-                }
-                _ => {}
+            if let ContextSpec::Tag(t) = spec {
+                prop_assert!(crate::query::ContextSpec::parse(&t) != ContextSpec::Any);
             }
             // Matching is exercised through the public parse + a tiny collection.
             let mut c = seda_xmlstore::Collection::new();

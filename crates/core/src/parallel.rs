@@ -1,0 +1,94 @@
+//! Scoped worker-pool primitives for the shard-parallel engine build.
+//!
+//! The build environment has no crates.io access, so instead of `rayon` this
+//! module implements the one primitive the orchestrator needs — an
+//! order-preserving parallel map over a slice — on `std::thread::scope` with
+//! an atomic work counter.  Swapping in `rayon::par_iter` later only changes
+//! this file.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for a configured parallelism value:
+/// `0` resolves to the machine's available parallelism, anything else is
+/// taken literally.
+pub fn effective_parallelism(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Applies `f` to every item of `items` using up to `threads` worker threads
+/// and returns the results in item order.
+///
+/// Work is handed out through an atomic counter, so long and short items mix
+/// freely without a static partition; the output order never depends on
+/// scheduling.  With `threads <= 1` (or one item) the map runs inline.
+pub fn parallel_map<T, S, F>(items: &[T], threads: usize, f: F) -> Vec<S>
+where
+    T: Sync,
+    S: Send,
+    F: Fn(&T) -> S + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<S>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, S)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, f(&items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, value) in handle.join().expect("shard worker panicked") {
+                slots[index] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every shard produced")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn effective_parallelism_resolves_auto() {
+        assert!(effective_parallelism(0) >= 1);
+        assert_eq!(effective_parallelism(3), 3);
+    }
+}

@@ -38,9 +38,7 @@ impl ContextSpec {
             return ContextSpec::Any;
         }
         if trimmed.contains('|') {
-            return ContextSpec::Disjunction(
-                trimmed.split('|').map(|p| ContextSpec::parse(p)).collect(),
-            );
+            return ContextSpec::Disjunction(trimmed.split('|').map(ContextSpec::parse).collect());
         }
         if trimmed.starts_with('/') {
             ContextSpec::Path(trimmed.to_string())
@@ -89,14 +87,12 @@ impl ContextSpec {
     pub fn matches(&self, collection: &Collection, node: NodeId) -> bool {
         match self {
             ContextSpec::Any => true,
-            ContextSpec::Path(path) => collection
-                .context_string(node)
-                .map(|c| c == *path)
-                .unwrap_or(false),
-            ContextSpec::Tag(tag) => collection
-                .node_name(node)
-                .map(|n| Self::tag_matches(tag, n))
-                .unwrap_or(false),
+            ContextSpec::Path(path) => {
+                collection.context_string(node).map(|c| c == *path).unwrap_or(false)
+            }
+            ContextSpec::Tag(tag) => {
+                collection.node_name(node).map(|n| Self::tag_matches(tag, n)).unwrap_or(false)
+            }
             ContextSpec::Disjunction(specs) => specs.iter().any(|s| s.matches(collection, node)),
         }
     }
@@ -119,9 +115,7 @@ impl ContextSpec {
                     .iter()
                     .filter(|(_, p)| {
                         p.leaf()
-                            .map(|leaf| {
-                                Self::tag_matches(tag, collection.symbols().resolve(leaf))
-                            })
+                            .map(|leaf| Self::tag_matches(tag, collection.symbols().resolve(leaf)))
                             .unwrap_or(false)
                     })
                     .map(|(id, _)| id)
@@ -219,16 +213,15 @@ impl SedaQuery {
     /// accepted).  The search component follows the
     /// [`FullTextQuery::parse`] syntax.
     pub fn parse(input: &str) -> Result<Self, QueryError> {
-        let normalised = input.replace('∧', "AND").replace('*', "*");
+        let normalised = input.replace('∧', "AND");
         let mut terms = Vec::new();
         let mut rest = normalised.trim();
         while !rest.is_empty() {
             if !rest.starts_with('(') {
                 return Err(QueryError::Malformed(format!("expected '(' at {rest:?}")));
             }
-            let close = rest
-                .find(')')
-                .ok_or_else(|| QueryError::Malformed("missing ')'".to_string()))?;
+            let close =
+                rest.find(')').ok_or_else(|| QueryError::Malformed("missing ')'".to_string()))?;
             let inside = &rest[1..close];
             let comma = inside
                 .find(',')
@@ -272,8 +265,9 @@ mod tests {
 
     #[test]
     fn parses_query_1_notation() {
-        let q = SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
-            .unwrap();
+        let q =
+            SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+                .unwrap();
         assert_eq!(q.len(), 3);
         assert_eq!(q.terms[0].context, ContextSpec::Any);
         assert_eq!(q.terms[0].search, FullTextQuery::phrase("United States"));

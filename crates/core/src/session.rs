@@ -18,7 +18,7 @@ use seda_xmlstore::PathId;
 
 use crate::engine::SedaEngine;
 use crate::query::SedaQuery;
-use crate::summaries::{ContextSelections, ContextSummary, ConnectionSummary};
+use crate::summaries::{ConnectionSummary, ContextSelections, ContextSummary};
 
 /// Where the session currently stands in the Fig. 6 control flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -300,9 +300,7 @@ mod tests {
     fn aggregate_requires_a_built_schema() {
         let e = engine();
         let session = Session::new(&e);
-        assert!(session
-            .aggregate("import-trade-percentage", &CubeQuery::sum(&[], "x"))
-            .is_none());
+        assert!(session.aggregate("import-trade-percentage", &CubeQuery::sum(&[], "x")).is_none());
     }
 
     #[test]

@@ -127,14 +127,8 @@ pub fn generate(config: &FactbookConfig) -> Result<Collection> {
             let is_territory = country != "United States"
                 && rng.gen_bool(config.territory_fraction.clamp(0.0, 1.0));
             let uri = format!("factbook/{year}/{}.xml", country.replace(' ', "_").to_lowercase());
-            let params = DocParams {
-                country,
-                country_idx,
-                year: *year,
-                is_territory,
-                doc_index,
-                config,
-            };
+            let params =
+                DocParams { country, country_idx, year: *year, is_territory, doc_index, config };
             collection.add_document(uri, |b| build_country_doc(b, &params, &mut rng))?;
             doc_index += 1;
         }
@@ -240,7 +234,8 @@ fn build_people(
     scale: f64,
 ) -> Result<()> {
     b.start_element("people")?;
-    let population = 50_000 + (p.country_idx as u64 * 4_816_031) % 1_300_000_000
+    let population = 50_000
+        + (p.country_idx as u64 * 4_816_031) % 1_300_000_000
         + (p.year as u64 - 2000) * 120_000;
     b.leaf("population", &population.to_string())?;
     if opt(rng, 0.8, scale) {
@@ -304,8 +299,8 @@ fn build_economy(
         .filter(|_| p.country == "United States")
         .map(str::to_string)
         .unwrap_or_else(|| {
-            let billions = 1.0 + (p.country_idx as f64 * 37.3) % 12_000.0
-                + (p.year as f64 - 2002.0) * 13.0;
+            let billions =
+                1.0 + (p.country_idx as f64 * 37.3) % 12_000.0 + (p.year as f64 - 2002.0) * 13.0;
             if billions >= 1000.0 {
                 format!("{:.3}T", billions / 1000.0)
             } else {
@@ -440,8 +435,7 @@ fn build_government(
     if opt(rng, 0.7, scale) {
         b.leaf(
             "government_type",
-            ["republic", "monarchy", "federation", "parliamentary democracy"]
-                [p.country_idx % 4],
+            ["republic", "monarchy", "federation", "parliamentary democracy"][p.country_idx % 4],
         )?;
     }
     if opt(rng, 0.5, scale) {
@@ -527,7 +521,7 @@ fn build_rare_fields(b: &mut DocumentBuilder<'_>, p: &DocParams<'_>) -> Result<(
     let mut opened: Option<usize> = None;
     for i in 0..pool {
         let modulus = i + 2;
-        if (p.doc_index + 7 * i) % modulus == 0 {
+        if (p.doc_index + 7 * i).is_multiple_of(modulus) {
             let section = i % sections.len();
             match opened {
                 Some(current) if current == section => {}
@@ -548,6 +542,19 @@ fn build_rare_fields(b: &mut DocumentBuilder<'_>, p: &DocParams<'_>) -> Result<(
         b.end_element()?;
     }
     Ok(())
+}
+
+impl FactbookConfig {
+    /// Convenience constructor used by tests and benches that want a corpus
+    /// with paper-like proportions but custom size.
+    pub fn paper_scaled(countries: usize, years: usize) -> Self {
+        let mut config = FactbookConfig::paper();
+        config.countries = countries;
+        let all_years = vec![2002, 2003, 2004, 2005, 2006, 2007];
+        config.years = all_years.into_iter().take(years.max(1)).collect();
+        config.rare_field_pool = (countries * years * 12 / 10).max(20);
+        config
+    }
 }
 
 #[cfg(test)]
@@ -634,11 +641,7 @@ mod tests {
         let config = FactbookConfig::small();
         let c = generate(&config).unwrap();
         // Base schema is ~75 paths; rare indicators push it well beyond.
-        assert!(
-            c.distinct_path_count() > 100,
-            "distinct paths = {}",
-            c.distinct_path_count()
-        );
+        assert!(c.distinct_path_count() > 100, "distinct paths = {}", c.distinct_path_count());
         // And the frequency distribution has a long tail: some path occurs in
         // only one document.
         let freq = c.path_document_frequency();
@@ -651,8 +654,9 @@ mod tests {
     #[test]
     fn refugees_path_is_rare_but_present() {
         let c = generate(&FactbookConfig::paper_scaled(200, 6)).unwrap();
-        let refugees =
-            c.paths().get_str(c.symbols(), "/country/transnational_issues/refugees/country_of_origin");
+        let refugees = c
+            .paths()
+            .get_str(c.symbols(), "/country/transnational_issues/refugees/country_of_origin");
         assert!(refugees.is_some());
         let freq = c.path_document_frequency();
         let f = freq[&refugees.unwrap()];
@@ -675,18 +679,5 @@ mod tests {
         let country = c.paths().get_str(c.symbols(), "/country").unwrap();
         let freq = c.path_document_frequency();
         assert!(freq[&country] < c.len(), "/country must not occur in every document");
-    }
-}
-
-impl FactbookConfig {
-    /// Convenience constructor used by tests and benches that want a corpus
-    /// with paper-like proportions but custom size.
-    pub fn paper_scaled(countries: usize, years: usize) -> Self {
-        let mut config = FactbookConfig::paper();
-        config.countries = countries;
-        let all_years = vec![2002, 2003, 2004, 2005, 2006, 2007];
-        config.years = all_years.into_iter().take(years.max(1)).collect();
-        config.rare_field_pool = (countries * years * 12 / 10).max(20);
-        config
     }
 }

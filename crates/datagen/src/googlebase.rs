@@ -32,7 +32,12 @@ pub struct GoogleBaseConfig {
 impl GoogleBaseConfig {
     /// Paper-scale configuration: 10000 items across 88 categories.
     pub fn paper() -> Self {
-        GoogleBaseConfig { items: 10_000, categories: 88, attributes_per_category: 10, seed: 0x6B05 }
+        GoogleBaseConfig {
+            items: 10_000,
+            categories: 88,
+            attributes_per_category: 10,
+            seed: 0x6B05,
+        }
     }
 
     /// Small configuration for tests: 300 items across 12 categories.

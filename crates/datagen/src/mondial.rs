@@ -138,7 +138,10 @@ pub fn generate(config: &MondialConfig) -> Result<Collection> {
             b.start_element("memberships")?;
             for j in 0..org_memberships {
                 b.start_element("member_of")?;
-                b.attribute("organization_idref", &org_id((i + j * 13) % config.organizations.max(1)))?;
+                b.attribute(
+                    "organization_idref",
+                    &org_id((i + j * 13) % config.organizations.max(1)),
+                )?;
                 b.end_element()?;
             }
             b.end_element()?;
@@ -211,7 +214,10 @@ pub fn generate(config: &MondialConfig) -> Result<Collection> {
             let k = 2 + i % 4;
             for j in 0..k {
                 b.start_element("bordering")?;
-                b.attribute("country_idref", &country_id((i * 5 + j * 3) % config.countries.max(1)))?;
+                b.attribute(
+                    "country_idref",
+                    &country_id((i * 5 + j * 3) % config.countries.max(1)),
+                )?;
                 b.end_element()?;
             }
             b.end_element()?;
@@ -323,8 +329,7 @@ mod tests {
     #[test]
     fn idref_attributes_follow_naming_convention() {
         let c = generate(&MondialConfig::small()).unwrap();
-        let sea_ref =
-            c.paths().get_str(c.symbols(), "/country/borders/bordering/sea_idref");
+        let sea_ref = c.paths().get_str(c.symbols(), "/country/borders/bordering/sea_idref");
         assert!(sea_ref.is_some(), "country documents must reference seas by idref");
         let country_ref = c.paths().get_str(c.symbols(), "/city/country_idref");
         assert!(country_ref.is_some(), "city documents must reference their country");

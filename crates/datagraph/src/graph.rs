@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use seda_xmlstore::{Collection, NodeId, NodeKind};
+use seda_xmlstore::{Collection, DocId, NodeId, NodeKind};
 
 use crate::config::GraphConfig;
 
@@ -36,7 +36,7 @@ pub struct Edge {
 /// XLink and value-based edges are materialised here (in both directions, so
 /// traversal can treat the graph as undirected, as the paper's connectedness
 /// definition does).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DataGraph {
     /// Non-tree adjacency, symmetric: every edge is stored under both
     /// endpoints.
@@ -47,6 +47,47 @@ pub struct DataGraph {
     value_pairs: usize,
 }
 
+/// Per-document raw material for the data graph, produced by
+/// [`DataGraph::build_shard`] and resolved across documents by
+/// [`DataGraph::merge`].
+///
+/// The shard phase records everything that can be discovered from a single
+/// document — ID definitions, IDREF/XLink references, and the contents of
+/// value-key endpoints — without resolving anything.  Resolution (ID lookup
+/// and value joins) is inherently cross-document and happens once at merge
+/// time over the combined symbol maps.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphShard {
+    doc: Option<DocId>,
+    /// `(id value, owning element)` pairs, in document order.
+    id_entries: Vec<(String, NodeId)>,
+    /// `(referencing element, lookup key, kind)` triples, in document order.
+    references: Vec<(NodeId, String, EdgeKind)>,
+    /// Referencing attribute instances seen (including unresolvable ones).
+    reference_attrs: usize,
+    /// Per value-key spec: `(content, node)` pairs on the primary side.
+    primary_values: Vec<Vec<(String, NodeId)>>,
+    /// Per value-key spec: `(content, node)` pairs on the foreign side.
+    foreign_values: Vec<Vec<(String, NodeId)>>,
+}
+
+impl GraphShard {
+    /// The document this shard was built from.
+    pub fn doc(&self) -> Option<DocId> {
+        self.doc
+    }
+
+    /// Number of ID attribute instances recorded in this shard.
+    pub fn id_entry_count(&self) -> usize {
+        self.id_entries.len()
+    }
+
+    /// Number of IDREF/XLink attribute instances seen in this shard.
+    pub fn reference_attribute_count(&self) -> usize {
+        self.reference_attrs
+    }
+}
+
 impl DataGraph {
     /// Builds the data graph over a collection.
     ///
@@ -54,76 +95,125 @@ impl DataGraph {
     ///   attribute to the *element owning* the referenced ID attribute.
     /// * Value-based edges connect the nodes named by the configured
     ///   [`crate::config::ValueKeySpec`]s whenever their contents are equal.
+    ///
+    /// This is the sequential reference path; it is equivalent to building
+    /// one shard per document with [`DataGraph::build_shard`] and resolving
+    /// them with [`DataGraph::merge`].
     pub fn build(collection: &Collection, config: &GraphConfig) -> Self {
+        let shards = collection
+            .documents()
+            .map(|doc| Self::build_shard(collection, doc.id, config))
+            .collect();
+        Self::merge(shards)
+    }
+
+    /// Scans a single document for graph raw material (the per-shard phase):
+    /// ID definitions, IDREF/XLink references and value-key endpoint
+    /// contents.  No cross-document resolution happens here.
+    pub fn build_shard(collection: &Collection, doc: DocId, config: &GraphConfig) -> GraphShard {
+        let mut shard = GraphShard { doc: Some(doc), ..GraphShard::default() };
+        let Ok(document) = collection.document(doc) else { return shard };
+
+        for (_, node) in document.iter() {
+            if node.kind != NodeKind::Attribute {
+                continue;
+            }
+            let name = collection.symbols().resolve(node.name);
+            if config.is_id_attribute(name) {
+                if let (Some(value), Some(parent)) = (node.text.as_deref(), node.parent) {
+                    shard.id_entries.push((value.trim().to_string(), NodeId::new(doc, parent)));
+                }
+            }
+            let kind = if config.is_idref_attribute(name) {
+                Some(EdgeKind::IdRef)
+            } else if config.is_xlink_attribute(name) {
+                Some(EdgeKind::XLink)
+            } else {
+                None
+            };
+            let Some(kind) = kind else { continue };
+            shard.reference_attrs += 1;
+            let Some(parent) = node.parent else { continue };
+            let Some(value) = node.text.as_deref() else { continue };
+            // XLink values may carry a fragment (`doc.xml#id`); use the
+            // fragment if present.
+            let key = value.rsplit('#').next().unwrap_or(value).trim();
+            shard.references.push((NodeId::new(doc, parent), key.to_string(), kind));
+        }
+
+        // Value-key endpoints of this document, per spec.
+        shard.primary_values = Vec::with_capacity(config.value_keys.len());
+        shard.foreign_values = Vec::with_capacity(config.value_keys.len());
+        for spec in &config.value_keys {
+            let mut primary = Vec::new();
+            let mut foreign = Vec::new();
+            if let Some(path) = collection.paths().get_str(collection.symbols(), &spec.primary_path)
+            {
+                for ordinal in document.nodes_with_path(path) {
+                    primary.push((document.content(ordinal), NodeId::new(doc, ordinal)));
+                }
+            }
+            if let Some(path) = collection.paths().get_str(collection.symbols(), &spec.foreign_path)
+            {
+                for ordinal in document.nodes_with_path(path) {
+                    foreign.push((document.content(ordinal), NodeId::new(doc, ordinal)));
+                }
+            }
+            shard.primary_values.push(primary);
+            shard.foreign_values.push(foreign);
+        }
+        shard
+    }
+
+    /// Resolves per-document shards into the full data graph (the merge phase
+    /// of the shard → merge build lifecycle): ID/IDREF and XLink references
+    /// are looked up in the combined ID map, and value-key joins run over the
+    /// combined endpoint lists.
+    ///
+    /// Shards are processed in ascending document order regardless of input
+    /// order, so the result is deterministic and identical to the sequential
+    /// [`DataGraph::build`].
+    pub fn merge(mut shards: Vec<GraphShard>) -> Self {
+        shards.sort_by_key(|s| s.doc);
         let mut graph = DataGraph::default();
 
-        // Pass 1: collect ID values -> owning element.
+        // Phase 1: combined ID map.  Later documents overwrite earlier ones
+        // for a duplicated ID value, matching the sequential build.
         let mut id_map: HashMap<String, NodeId> = HashMap::new();
-        for doc in collection.documents() {
-            for (_ordinal, node) in doc.iter() {
-                if node.kind != NodeKind::Attribute {
-                    continue;
-                }
-                let name = collection.symbols().resolve(node.name);
-                if config.is_id_attribute(name) {
-                    if let (Some(value), Some(parent)) = (node.text.as_deref(), node.parent) {
-                        id_map.insert(value.trim().to_string(), NodeId::new(doc.id, parent));
-                        graph.id_nodes += 1;
-                    }
+        for shard in &shards {
+            for (value, owner) in &shard.id_entries {
+                id_map.insert(value.clone(), *owner);
+                graph.id_nodes += 1;
+            }
+        }
+
+        // Phase 2: resolve IDREF / XLink references.
+        for shard in &shards {
+            graph.idref_nodes += shard.reference_attrs;
+            for (source, key, kind) in &shard.references {
+                if let Some(&target) = id_map.get(key.as_str()) {
+                    graph.add_edge(*source, target, *kind);
                 }
             }
         }
 
-        // Pass 2: IDREF / XLink edges.
-        for doc in collection.documents() {
-            for (_, node) in doc.iter() {
-                if node.kind != NodeKind::Attribute {
-                    continue;
-                }
-                let name = collection.symbols().resolve(node.name);
-                let kind = if config.is_idref_attribute(name) {
-                    Some(EdgeKind::IdRef)
-                } else if config.is_xlink_attribute(name) {
-                    Some(EdgeKind::XLink)
-                } else {
-                    None
-                };
-                let Some(kind) = kind else { continue };
-                graph.idref_nodes += 1;
-                let Some(parent) = node.parent else { continue };
-                let Some(value) = node.text.as_deref() else { continue };
-                // XLink values may carry a fragment (`doc.xml#id`); use the
-                // fragment if present.
-                let key = value.rsplit('#').next().unwrap_or(value).trim();
-                if let Some(&target) = id_map.get(key) {
-                    graph.add_edge(NodeId::new(doc.id, parent), target, kind);
+        // Phase 3: value-based joins over the combined endpoint lists.
+        let spec_count = shards.iter().map(|s| s.primary_values.len()).max().unwrap_or(0);
+        for spec in 0..spec_count {
+            let mut primary_values: HashMap<&str, Vec<NodeId>> = HashMap::new();
+            for shard in &shards {
+                for (content, node) in shard.primary_values.get(spec).into_iter().flatten() {
+                    primary_values.entry(content.as_str()).or_default().push(*node);
                 }
             }
-        }
-
-        // Pass 3: value-based edges.
-        for spec in &config.value_keys {
-            let Some(primary) = collection.paths().get_str(collection.symbols(), &spec.primary_path)
-            else {
-                continue;
-            };
-            let Some(foreign) = collection.paths().get_str(collection.symbols(), &spec.foreign_path)
-            else {
-                continue;
-            };
-            let mut primary_values: HashMap<String, Vec<NodeId>> = HashMap::new();
-            for node in collection.nodes_with_path(primary) {
-                if let Ok(content) = collection.content(node) {
-                    primary_values.entry(content).or_default().push(node);
-                }
-            }
-            for node in collection.nodes_with_path(foreign) {
-                let Ok(content) = collection.content(node) else { continue };
-                if let Some(targets) = primary_values.get(&content) {
-                    for &target in targets {
-                        if target != node {
-                            graph.add_edge(node, target, EdgeKind::ValueBased);
-                            graph.value_pairs += 1;
+            for shard in &shards {
+                for (content, node) in shard.foreign_values.get(spec).into_iter().flatten() {
+                    if let Some(targets) = primary_values.get(content.as_str()) {
+                        for &target in targets {
+                            if target != *node {
+                                graph.add_edge(*node, target, EdgeKind::ValueBased);
+                                graph.value_pairs += 1;
+                            }
                         }
                     }
                 }
@@ -215,10 +305,7 @@ mod tests {
                      </import_partners></economy>
                    </country>"#,
             ),
-            (
-                "ph.xml",
-                r#"<country id="cty-ph"><name>Philippines</name></country>"#,
-            ),
+            ("ph.xml", r#"<country id="cty-ph"><name>Philippines</name></country>"#),
             (
                 "china.xml",
                 r#"<country id="cty-cn"><name>China</name>
@@ -274,10 +361,8 @@ mod tests {
             g.edges().into_iter().filter(|e| e.kind == EdgeKind::ValueBased).collect();
         // The US import partner "China" links to the China country's name.
         assert_eq!(value_edges.len(), 1);
-        let contents: Vec<String> = vec![
-            c.content(value_edges[0].from).unwrap(),
-            c.content(value_edges[0].to).unwrap(),
-        ];
+        let contents: Vec<String> =
+            vec![c.content(value_edges[0].from).unwrap(), c.content(value_edges[0].to).unwrap()];
         assert!(contents.iter().all(|s| s == "China"));
     }
 
@@ -298,12 +383,60 @@ mod tests {
         // (id attr, name, economy), plus 1 IdRef edge from the sea bordering.
         let us_root = NodeId::new(seda_xmlstore::DocId(1), 0);
         let neighbors = g.neighbors(&c, us_root);
-        let tree: usize =
-            neighbors.iter().filter(|(_, k)| *k == EdgeKind::ParentChild).count();
-        let cross: usize =
-            neighbors.iter().filter(|(_, k)| *k != EdgeKind::ParentChild).count();
+        let tree: usize = neighbors.iter().filter(|(_, k)| *k == EdgeKind::ParentChild).count();
+        let cross: usize = neighbors.iter().filter(|(_, k)| *k != EdgeKind::ParentChild).count();
         assert_eq!(tree, 3);
         assert_eq!(cross, 2, "bordering IdRef + XLink from China");
+    }
+
+    #[test]
+    fn merged_shards_equal_sequential_build() {
+        let c = mondial_like();
+        let config = GraphConfig::with_value_keys(vec![ValueKeySpec::new(
+            "/country/name",
+            "/country/economy/import_partners/item/trade_country",
+        )]);
+        let sequential = DataGraph::build(&c, &config);
+        let mut shards: Vec<GraphShard> =
+            c.documents().map(|doc| DataGraph::build_shard(&c, doc.id, &config)).collect();
+        shards.reverse(); // merge must not depend on shard order
+        let merged = DataGraph::merge(shards);
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.cross_edge_count(), sequential.cross_edge_count());
+    }
+
+    #[test]
+    fn shards_record_unresolved_references() {
+        let c =
+            parse_collection(vec![("a.xml", r#"<root><child thing_idref="elsewhere"/></root>"#)])
+                .unwrap();
+        let doc = c.documents().next().unwrap().id;
+        let shard = DataGraph::build_shard(&c, doc, &GraphConfig::default());
+        assert_eq!(shard.reference_attribute_count(), 1);
+        assert_eq!(shard.id_entry_count(), 0);
+        // The dangling reference survives to the merge but resolves to nothing.
+        let merged = DataGraph::merge(vec![shard]);
+        assert_eq!(merged.cross_edge_count(), 0);
+        assert_eq!(merged.reference_attribute_count(), 1);
+    }
+
+    #[test]
+    fn merge_resolves_references_across_shards() {
+        let c = mondial_like();
+        let shards: Vec<GraphShard> = c
+            .documents()
+            .map(|doc| DataGraph::build_shard(&c, doc.id, &GraphConfig::default()))
+            .collect();
+        // sea.xml references cty-us / cty-ph, which live in other shards.
+        let merged = DataGraph::merge(shards);
+        assert_eq!(merged.cross_edge_count(), 3);
+    }
+
+    #[test]
+    fn merge_of_no_shards_is_empty() {
+        let merged = DataGraph::merge(Vec::new());
+        assert_eq!(merged.cross_edge_count(), 0);
+        assert!(merged.edges().is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod graph;
 pub mod traversal;
 
 pub use config::{GraphConfig, ValueKeySpec};
-pub use graph::{DataGraph, Edge, EdgeKind};
+pub use graph::{DataGraph, Edge, EdgeKind, GraphShard};
 pub use traversal::{
     bfs, compactness, connecting_tree_size, is_connected, pairwise_distances, shortest_distance,
     shortest_path, BfsResult, Hop,

@@ -52,8 +52,8 @@ pub fn bfs(
             continue;
         }
         for (next, kind) in graph.neighbors(collection, current) {
-            if !distances.contains_key(&next) {
-                distances.insert(next, depth + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = distances.entry(next) {
+                e.insert(depth + 1);
                 predecessors.insert(next, Hop { node: current, kind });
                 queue.push_back(next);
             }
@@ -233,10 +233,7 @@ mod tests {
 
     fn find(c: &Collection, path: &str, content: &str) -> NodeId {
         let pid = c.paths().get_str(c.symbols(), path).unwrap();
-        c.nodes_with_path(pid)
-            .into_iter()
-            .find(|&n| c.content(n).unwrap() == content)
-            .unwrap()
+        c.nodes_with_path(pid).into_iter().find(|&n| c.content(n).unwrap() == content).unwrap()
     }
 
     #[test]
@@ -327,6 +324,7 @@ mod tests {
         let us_name = find(&c, "/country/name", "United States");
         let nodes = [us_name, china, pct15];
         let m = pairwise_distances(&g, &c, &nodes, 10);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             assert_eq!(m[i][i], Some(0));
             for j in 0..3 {

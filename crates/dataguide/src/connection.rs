@@ -52,11 +52,7 @@ impl Connection {
 
     /// Renders the signature in `/a/b ~ /a/c` style for display.
     pub fn display(&self, collection: &Collection) -> String {
-        self.signature
-            .iter()
-            .map(|&p| collection.path_string(p))
-            .collect::<Vec<_>>()
-            .join(" ~ ")
+        self.signature.iter().map(|&p| collection.path_string(p)).collect::<Vec<_>>().join(" ~ ")
     }
 }
 
@@ -183,10 +179,9 @@ pub fn guide_links(
         else {
             continue;
         };
-        let (Some(from_guide), Some(to_guide)) = (
-            guides.guide_of_document(edge.from.doc),
-            guides.guide_of_document(edge.to.doc),
-        ) else {
+        let (Some(from_guide), Some(to_guide)) =
+            (guides.guide_of_document(edge.from.doc), guides.guide_of_document(edge.to.doc))
+        else {
             continue;
         };
         let key = (from_guide, from_path, to_guide, to_path, edge.kind);
@@ -206,12 +201,7 @@ pub fn guide_links(
 fn intra_guide_distance(collection: &Collection, a: PathId, b: PathId) -> usize {
     let pa = collection.paths().resolve(a);
     let pb = collection.paths().resolve(b);
-    let common = pa
-        .steps()
-        .iter()
-        .zip(pb.steps().iter())
-        .take_while(|(x, y)| x == y)
-        .count();
+    let common = pa.steps().iter().zip(pb.steps().iter()).take_while(|(x, y)| x == y).count();
     pa.len() + pb.len() - 2 * common
 }
 
@@ -343,10 +333,7 @@ mod tests {
 
     fn node(c: &Collection, path_str: &str, content: &str) -> NodeId {
         let p = path(c, path_str);
-        c.nodes_with_path(p)
-            .into_iter()
-            .find(|&n| c.content(n).unwrap() == content)
-            .unwrap()
+        c.nodes_with_path(p).into_iter().find(|&n| c.content(n).unwrap() == content).unwrap()
     }
 
     #[test]
@@ -358,7 +345,11 @@ mod tests {
         // Two tuples: China with its own percentage, China with Canada's.
         let tuples = vec![vec![china, pct_same], vec![china, pct_other]];
         let connections = discover_connections(&c, &g, &tuples, 10);
-        assert_eq!(connections.len(), 2, "the paper's two ways to connect trade_country and percentage");
+        assert_eq!(
+            connections.len(),
+            2,
+            "the paper's two ways to connect trade_country and percentage"
+        );
         let lengths: Vec<usize> = connections.iter().map(Connection::length).collect();
         assert!(lengths.contains(&2), "same-item connection via the shared item node");
         assert!(lengths.contains(&4), "cross-item connection via import_partners");

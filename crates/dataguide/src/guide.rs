@@ -31,7 +31,7 @@ impl GuideId {
 }
 
 /// One dataguide: a set of root-to-leaf paths plus the documents it covers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DataGuide {
     paths: BTreeSet<PathId>,
     documents: Vec<DocId>,
@@ -118,12 +118,45 @@ pub struct DataGuideStats {
     pub threshold: f64,
 }
 
+/// Per-document dataguides awaiting the threshold merge, produced by
+/// [`DataGuideSet::build_shard`] and consumed by [`DataGuideSet::merge`].
+///
+/// Computing a document's path set is the data-proportional part of dataguide
+/// construction and parallelises per document; the greedy 40%-threshold merge
+/// is order-sensitive, so it runs once over all shards' guides in document
+/// order, guaranteeing the merged set is identical to the sequential build.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataGuideShard {
+    guides: Vec<(DocId, DataGuide)>,
+}
+
+impl DataGuideShard {
+    /// Number of per-document guides in this shard.
+    pub fn len(&self) -> usize {
+        self.guides.len()
+    }
+
+    /// True when the shard holds no guides.
+    pub fn is_empty(&self) -> bool {
+        self.guides.is_empty()
+    }
+
+    /// Iterates over the `(document, guide)` pairs of this shard.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &DataGuide)> {
+        self.guides.iter().map(|(doc, guide)| (*doc, guide))
+    }
+}
+
 /// A collection of merged dataguides plus the document → guide assignment.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DataGuideSet {
     guides: Vec<DataGuide>,
     assignment: HashMap<DocId, GuideId>,
     threshold: f64,
+    /// Inverted index path → guides containing it, so one pass over an
+    /// incoming guide's paths yields its common-path count with *every*
+    /// existing guide (instead of intersecting with each guide separately).
+    path_index: HashMap<PathId, Vec<u32>>,
 }
 
 impl DataGuideSet {
@@ -135,20 +168,65 @@ impl DataGuideSet {
     /// 2. otherwise it is merged into the *best* existing guide whose overlap
     ///    is at least `threshold`;
     /// 3. otherwise it becomes a new dataguide.
+    ///
+    /// This is the sequential reference path; it is equivalent to building
+    /// shards with [`DataGuideSet::build_shard`] and combining them with
+    /// [`DataGuideSet::merge`].
     pub fn build(collection: &Collection, threshold: f64) -> seda_xmlstore::Result<Self> {
-        let mut set = DataGuideSet { guides: Vec::new(), assignment: HashMap::new(), threshold };
-        for doc in collection.documents() {
-            let guide = DataGuide::of_document(collection, doc.id)?;
-            set.insert_guide(doc.id, guide);
-        }
-        Ok(set)
+        let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
+        let shard = Self::build_shard(collection, docs)?;
+        Ok(Self::merge(threshold, vec![shard]))
     }
 
+    /// Computes the per-document dataguides of a batch of documents (the
+    /// per-shard phase of the shard → merge build lifecycle).
+    pub fn build_shard(
+        collection: &Collection,
+        docs: impl IntoIterator<Item = DocId>,
+    ) -> seda_xmlstore::Result<DataGuideShard> {
+        let mut shard = DataGuideShard::default();
+        for doc in docs {
+            shard.guides.push((doc, DataGuide::of_document(collection, doc)?));
+        }
+        Ok(shard)
+    }
+
+    /// Runs the overlap-threshold merge over the per-document guides of all
+    /// shards (the merge phase of the shard → merge build lifecycle).
+    ///
+    /// Guides are inserted in ascending document order regardless of how the
+    /// documents were partitioned into shards, so the result — including the
+    /// exact guide boundaries of the order-sensitive greedy algorithm — is
+    /// identical to the sequential [`DataGuideSet::build`].
+    pub fn merge(threshold: f64, shards: Vec<DataGuideShard>) -> Self {
+        let mut pending: Vec<(DocId, DataGuide)> =
+            shards.into_iter().flat_map(|s| s.guides).collect();
+        pending.sort_by_key(|(doc, _)| *doc);
+        let mut set = DataGuideSet { threshold, ..DataGuideSet::default() };
+        for (doc, guide) in pending {
+            set.insert_guide(doc, guide);
+        }
+        set
+    }
+
+    /// Inserts one document's guide, preserving the paper's greedy semantics:
+    /// first subset match wins, else the best guide at or above the overlap
+    /// threshold (earliest on ties), else a new guide.  The common-path
+    /// counts against all existing guides come from a single pass over the
+    /// incoming guide's paths through the inverted path index, instead of a
+    /// pairwise intersection per existing guide.
     fn insert_guide(&mut self, doc: DocId, guide: DataGuide) {
-        // Case 1: subset of an existing guide.
-        for (i, existing) in self.guides.iter_mut().enumerate() {
-            if guide.is_subset_of(existing) {
-                existing.documents.push(doc);
+        let mut common = vec![0usize; self.guides.len()];
+        for path in &guide.paths {
+            for &g in self.path_index.get(path).map(Vec::as_slice).unwrap_or(&[]) {
+                common[g as usize] += 1;
+            }
+        }
+
+        // Case 1: subset of an existing guide (all paths shared), first match.
+        for (i, &shared) in common.iter().enumerate() {
+            if shared == guide.len() {
+                self.guides[i].documents.push(doc);
                 self.assignment.insert(doc, GuideId(i as u32));
                 return;
             }
@@ -156,18 +234,31 @@ impl DataGuideSet {
         // Case 2: merge with the best guide over the threshold.
         let mut best: Option<(usize, f64)> = None;
         for (i, existing) in self.guides.iter().enumerate() {
-            let overlap = guide.overlap(existing);
+            let overlap = if guide.is_empty() || existing.is_empty() {
+                0.0
+            } else {
+                let shared = common[i] as f64;
+                (shared / guide.len() as f64).min(shared / existing.len() as f64)
+            };
             if overlap >= self.threshold && best.map(|(_, b)| overlap > b).unwrap_or(true) {
                 best = Some((i, overlap));
             }
         }
         if let Some((i, _)) = best {
+            for &path in &guide.paths {
+                if !self.guides[i].contains(path) {
+                    self.path_index.entry(path).or_default().push(i as u32);
+                }
+            }
             self.guides[i].merge_in(guide);
             self.assignment.insert(doc, GuideId(i as u32));
             return;
         }
         // Case 3: new dataguide.
         let id = GuideId(self.guides.len() as u32);
+        for &path in &guide.paths {
+            self.path_index.entry(path).or_default().push(id.0);
+        }
         self.guides.push(guide);
         self.assignment.insert(doc, id);
     }
@@ -202,9 +293,15 @@ impl DataGuideSet {
         self.assignment.get(&doc).copied()
     }
 
-    /// All guides containing a given path.
+    /// All guides containing a given path, in ascending guide order.
     pub fn guides_with_path(&self, path: PathId) -> Vec<GuideId> {
-        self.iter().filter(|(_, g)| g.contains(path)).map(|(id, _)| id).collect()
+        let mut out: Vec<GuideId> = self
+            .path_index
+            .get(&path)
+            .map(|guides| guides.iter().map(|&g| GuideId(g)).collect())
+            .unwrap_or_default();
+        out.sort_unstable();
+        out
     }
 
     /// Table 1 statistics for this set.
@@ -325,6 +422,43 @@ mod tests {
         // guide B holds 4 (b, p, q, r). Together 8.
         assert_eq!(stats.total_paths, 8);
         assert_eq!(stats.threshold, 0.4);
+    }
+
+    #[test]
+    fn merged_shards_equal_sequential_build() {
+        let c = collection_with_shapes();
+        let sequential = DataGuideSet::build(&c, 0.4).unwrap();
+        // Partition the five documents into three shards, deliberately out of
+        // order: the merge must reassemble document order before inserting.
+        let docs: Vec<DocId> = c.documents().map(|d| d.id).collect();
+        let shards = vec![
+            DataGuideSet::build_shard(&c, vec![docs[3], docs[4]]).unwrap(),
+            DataGuideSet::build_shard(&c, vec![docs[0]]).unwrap(),
+            DataGuideSet::build_shard(&c, vec![docs[2], docs[1]]).unwrap(),
+        ];
+        let merged = DataGuideSet::merge(0.4, shards);
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.stats(c.len()), sequential.stats(c.len()));
+    }
+
+    #[test]
+    fn shard_exposes_per_document_guides() {
+        let c = collection_with_shapes();
+        let docs: Vec<DocId> = c.documents().map(|d| d.id).collect();
+        let shard = DataGuideSet::build_shard(&c, docs.clone()).unwrap();
+        assert_eq!(shard.len(), docs.len());
+        assert!(!shard.is_empty());
+        for (doc, guide) in shard.iter() {
+            assert!(docs.contains(&doc));
+            assert!(!guide.is_empty());
+        }
+    }
+
+    #[test]
+    fn merge_of_no_shards_is_empty() {
+        let merged = DataGuideSet::merge(0.4, Vec::new());
+        assert!(merged.is_empty());
+        assert_eq!(merged.threshold(), 0.4);
     }
 
     #[test]

@@ -266,9 +266,9 @@ impl<'a> StarSchemaBuilder<'a> {
                 let steps = seda_xmlstore::RelativeStep::parse_expr(expr);
                 let targets =
                     document.eval_relative_steps(node.node, &steps, self.collection.symbols());
-                targets.first().map(|&t| {
-                    self.collection.path_string(document.node_unchecked(t).path)
-                })
+                targets
+                    .first()
+                    .map(|&t| self.collection.path_string(document.node_unchecked(t).path))
             }),
         };
         if let Some(context) = context {
@@ -541,7 +541,10 @@ mod tests {
         for dim in &fact.dimension_columns {
             assert!(build.schema.dimension(dim).is_some(), "missing dimension table {dim}");
         }
-        assert_eq!(build.schema.dimension("import-country").unwrap().values, vec!["China", "Mexico"]);
+        assert_eq!(
+            build.schema.dimension("import-country").unwrap().values,
+            vec!["China", "Mexico"]
+        );
     }
 
     #[test]

@@ -131,11 +131,7 @@ pub fn aggregate(table: &FactTable, query: &CubeQuery) -> Result<CubeResult, Cub
     let group_indices: Vec<usize> = query
         .group_by
         .iter()
-        .map(|d| {
-            table
-                .dimension_index(d)
-                .ok_or_else(|| CubeError::UnknownDimension(d.clone()))
-        })
+        .map(|d| table.dimension_index(d).ok_or_else(|| CubeError::UnknownDimension(d.clone())))
         .collect::<Result<_, _>>()?;
     let filter_indices: Vec<(usize, &str)> = query
         .filters
@@ -273,9 +269,11 @@ mod tests {
     #[test]
     fn min_max_and_count() {
         let table = figure3_table();
-        let max = aggregate(&table, &CubeQuery::sum(&[], "percentage").with_agg(AggFn::Max)).unwrap();
+        let max =
+            aggregate(&table, &CubeQuery::sum(&[], "percentage").with_agg(AggFn::Max)).unwrap();
         assert!((max.cells[0].value - 16.9).abs() < 1e-9);
-        let min = aggregate(&table, &CubeQuery::sum(&[], "percentage").with_agg(AggFn::Min)).unwrap();
+        let min =
+            aggregate(&table, &CubeQuery::sum(&[], "percentage").with_agg(AggFn::Min)).unwrap();
         assert!((min.cells[0].value - 10.3).abs() < 1e-9);
         let count =
             aggregate(&table, &CubeQuery::sum(&[], "percentage").with_agg(AggFn::Count)).unwrap();
@@ -330,6 +328,9 @@ mod tests {
             measures: vec!["n/a".into()],
         });
         let result = aggregate(&table, &CubeQuery::sum(&["year"], "percentage")).unwrap();
-        assert!(result.cell(&["2007"]).is_none(), "rows without numeric measures contribute nothing");
+        assert!(
+            result.cell(&["2007"]).is_none(),
+            "rows without numeric measures contribute nothing"
+        );
     }
 }

@@ -268,7 +268,10 @@ mod tests {
     #[test]
     fn key_part_parsing_distinguishes_absolute_and_relative() {
         assert_eq!(KeyPart::parse("/country"), KeyPart::Absolute("/country".into()));
-        assert_eq!(KeyPart::parse("../trade_country"), KeyPart::Relative("../trade_country".into()));
+        assert_eq!(
+            KeyPart::parse("../trade_country"),
+            KeyPart::Relative("../trade_country".into())
+        );
         assert_eq!(KeyPart::parse("."), KeyPart::Relative(".".into()));
         let key = RelativeKey::parse(&["/country", "/country/year", "../trade_country"]);
         assert_eq!(key.len(), 3);

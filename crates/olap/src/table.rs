@@ -124,8 +124,7 @@ impl FactRow {
 
 /// Parses a Factbook-style numeric string.
 pub fn parse_numeric(raw: &str) -> Option<f64> {
-    let cleaned: String =
-        raw.trim().trim_end_matches('%').replace(',', "").trim().to_string();
+    let cleaned: String = raw.trim().trim_end_matches('%').replace(',', "").trim().to_string();
     if cleaned.is_empty() {
         return None;
     }

@@ -18,7 +18,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use seda_xmlstore::{Collection, PathId};
+use seda_xmlstore::{Collection, DocId, Document, PathId};
 
 use crate::query::FullTextQuery;
 use crate::tokenize::terms;
@@ -49,7 +49,7 @@ pub struct PathEntry {
 }
 
 /// The Fig. 8 keyword → paths index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ContextIndex {
     storage: CountStorage,
     /// keyword → set of paths whose virtual document contains the keyword.
@@ -67,34 +67,129 @@ pub struct ContextIndex {
     text_paths: BTreeSet<PathId>,
 }
 
+/// Partial context index over a single document, produced by
+/// [`ContextIndex::build_shard`] and consumed by [`ContextIndex::merge`].
+///
+/// The shard covers the document-content pass only; the collection-wide
+/// tag-name pass (which iterates the shared path table, not the documents)
+/// runs once inside [`ContextIndex::merge`].
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextIndexShard {
+    doc: Option<DocId>,
+    storage: Option<CountStorage>,
+    keyword_paths: HashMap<String, BTreeSet<PathId>>,
+    posting_counts: HashMap<(String, PathId), usize>,
+    text_paths: BTreeSet<PathId>,
+    element_paths: BTreeSet<PathId>,
+    path_occurrences: HashMap<PathId, usize>,
+}
+
+impl ContextIndexShard {
+    /// The document this shard was built from.
+    pub fn doc(&self) -> Option<DocId> {
+        self.doc
+    }
+
+    /// Number of distinct keywords contributed by this document's content.
+    pub fn keyword_count(&self) -> usize {
+        self.keyword_paths.len()
+    }
+}
+
 impl ContextIndex {
     /// Builds the index over a collection.
+    ///
+    /// This is the sequential reference path; it is equivalent to building
+    /// one shard per document with [`ContextIndex::build_shard`] and
+    /// combining them with [`ContextIndex::merge`].
     pub fn build(collection: &Collection, storage: CountStorage) -> Self {
-        let mut keyword_paths: HashMap<String, BTreeSet<PathId>> = HashMap::new();
-        let mut posting_counts: HashMap<(String, PathId), usize> = HashMap::new();
-        let mut text_paths: BTreeSet<PathId> = BTreeSet::new();
-        let mut all_paths: BTreeSet<PathId> = BTreeSet::new();
+        let shards = collection.documents().map(|doc| Self::build_shard(doc, storage)).collect();
+        Self::merge(collection, storage, shards)
+    }
 
-        for doc in collection.documents() {
-            for (_, node) in doc.iter() {
-                all_paths.insert(node.path);
-                // Content keywords.
-                if let Some(text) = node.text.as_deref() {
-                    let tokens = terms(text);
-                    if !tokens.is_empty() {
-                        text_paths.insert(node.path);
-                    }
-                    for token in tokens {
-                        keyword_paths.entry(token.clone()).or_default().insert(node.path);
-                        if storage == CountStorage::PostingLists {
-                            *posting_counts.entry((token, node.path)).or_insert(0) += 1;
-                        }
+    /// Builds the partial index of a single document (the per-shard phase of
+    /// the shard → merge build lifecycle).
+    pub fn build_shard(doc: &Document, storage: CountStorage) -> ContextIndexShard {
+        let mut shard = ContextIndexShard {
+            doc: Some(doc.id),
+            storage: Some(storage),
+            ..ContextIndexShard::default()
+        };
+        for (_, node) in doc.iter() {
+            shard.element_paths.insert(node.path);
+            *shard.path_occurrences.entry(node.path).or_insert(0) += 1;
+            // Content keywords.
+            if let Some(text) = node.text.as_deref() {
+                let tokens = terms(text);
+                if !tokens.is_empty() {
+                    shard.text_paths.insert(node.path);
+                }
+                for token in tokens {
+                    shard.keyword_paths.entry(token.clone()).or_default().insert(node.path);
+                    if storage == CountStorage::PostingLists {
+                        *shard.posting_counts.entry((token, node.path)).or_insert(0) += 1;
                     }
                 }
             }
         }
+        shard
+    }
+
+    /// Merges per-document shards into the full index (the merge phase of the
+    /// shard → merge build lifecycle).
+    ///
+    /// The collection is needed for the tag-name keyword pass, which runs over
+    /// the shared path table exactly once here instead of once per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard was built with a different [`CountStorage`] than
+    /// `storage`: a `DocumentStore` shard carries no duplicated posting
+    /// counts, so merging it into a `PostingLists` index would silently drop
+    /// frequencies.
+    pub fn merge(
+        collection: &Collection,
+        storage: CountStorage,
+        mut shards: Vec<ContextIndexShard>,
+    ) -> Self {
+        for shard in &shards {
+            assert!(
+                shard.storage.is_none() || shard.storage == Some(storage),
+                "shard for {:?} was built with {:?}, cannot merge into a {storage:?} index",
+                shard.doc,
+                shard.storage,
+            );
+        }
+        shards.sort_by_key(|s| s.doc);
+        let mut keyword_paths: HashMap<String, BTreeSet<PathId>> = HashMap::new();
+        let mut posting_counts: HashMap<(String, PathId), usize> = HashMap::new();
+        let mut text_paths: BTreeSet<PathId> = BTreeSet::new();
+        let mut all_paths: BTreeSet<PathId> = BTreeSet::new();
+        let mut path_occurrences: HashMap<PathId, usize> = HashMap::new();
+        let mut path_document_frequency: HashMap<PathId, usize> = HashMap::new();
+
+        for shard in shards {
+            for (term, paths) in shard.keyword_paths {
+                keyword_paths.entry(term).or_default().extend(paths);
+            }
+            if storage == CountStorage::PostingLists {
+                for (key, count) in shard.posting_counts {
+                    *posting_counts.entry(key).or_insert(0) += count;
+                }
+            }
+            text_paths.extend(shard.text_paths.iter().copied());
+            all_paths.extend(shard.element_paths.iter().copied());
+            for (&path, &count) in &shard.path_occurrences {
+                *path_occurrences.entry(path).or_insert(0) += count;
+            }
+            for &path in &shard.element_paths {
+                *path_document_frequency.entry(path).or_insert(0) += 1;
+            }
+        }
+
         // Tag-name keywords: every label on a path contributes the path to the
-        // label's posting list.
+        // label's posting list.  The path table is shared by all documents, so
+        // this pass is global rather than per shard.
         for (path_id, label_path) in collection.paths().iter() {
             for &step in label_path.steps() {
                 for token in terms(collection.symbols().resolve(step)) {
@@ -106,9 +201,6 @@ impl ContextIndex {
             }
             all_paths.insert(path_id);
         }
-
-        let path_occurrences = collection.path_occurrence_count();
-        let path_document_frequency = collection.path_document_frequency();
 
         ContextIndex {
             storage,
@@ -303,8 +395,7 @@ mod tests {
         let bucket = index.context_bucket(&FullTextQuery::phrase("United States"));
         let paths = path_strings(&collection, &bucket);
         assert!(paths.contains(&"/country/name".to_string()));
-        assert!(paths
-            .contains(&"/country/economy/export_partners/item/trade_country".to_string()));
+        assert!(paths.contains(&"/country/economy/export_partners/item/trade_country".to_string()));
         assert_eq!(paths.len(), 2);
     }
 
@@ -355,11 +446,8 @@ mod tests {
     #[test]
     fn tag_filtered_bucket_restricts_to_leaf_name() {
         let (collection, index) = sample();
-        let bucket = index.context_bucket_with_tag(
-            &collection,
-            &FullTextQuery::Any,
-            "trade_country",
-        );
+        let bucket =
+            index.context_bucket_with_tag(&collection, &FullTextQuery::Any, "trade_country");
         let paths = path_strings(&collection, &bucket);
         assert_eq!(paths.len(), 2);
         assert!(paths.iter().all(|p| p.ends_with("/trade_country")));
@@ -389,6 +477,40 @@ mod tests {
         assert_eq!(doc_store.context_bucket(&q), postings.context_bucket(&q));
         // The posting-list design stores at least as many count entries.
         assert!(postings.count_entries() >= doc_store.count_entries());
+    }
+
+    #[test]
+    fn merged_shards_equal_sequential_build_for_both_storages() {
+        let (collection, _) = sample();
+        for storage in [CountStorage::DocumentStore, CountStorage::PostingLists] {
+            let sequential = ContextIndex::build(&collection, storage);
+            let mut shards: Vec<ContextIndexShard> =
+                collection.documents().map(|doc| ContextIndex::build_shard(doc, storage)).collect();
+            shards.reverse(); // merge must not depend on shard order
+            let merged = ContextIndex::merge(&collection, storage, shards);
+            assert_eq!(merged, sequential);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn merge_rejects_mismatched_count_storage() {
+        let (collection, _) = sample();
+        let shards: Vec<ContextIndexShard> = collection
+            .documents()
+            .map(|doc| ContextIndex::build_shard(doc, CountStorage::DocumentStore))
+            .collect();
+        ContextIndex::merge(&collection, CountStorage::PostingLists, shards);
+    }
+
+    #[test]
+    fn merge_of_no_shards_still_indexes_tag_names() {
+        let (collection, _) = sample();
+        let merged = ContextIndex::merge(&collection, CountStorage::DocumentStore, Vec::new());
+        // Content keywords are missing without shards, but tag-name keywords
+        // come from the shared path table.
+        let bucket = merged.context_bucket(&FullTextQuery::keywords("percentage"));
+        assert!(!bucket.is_empty());
     }
 
     #[test]

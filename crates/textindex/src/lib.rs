@@ -30,8 +30,8 @@ pub mod node_index;
 pub mod query;
 pub mod tokenize;
 
-pub use context_index::{ContextIndex, CountStorage, PathEntry};
-pub use node_index::{NodeIndex, Posting, ScoredNode};
+pub use context_index::{ContextIndex, ContextIndexShard, CountStorage, PathEntry};
+pub use node_index::{NodeIndex, NodeIndexShard, Posting, ScoredNode};
 pub use query::{FullTextQuery, QueryParseError};
 pub use tokenize::{terms, tokenize, Token};
 

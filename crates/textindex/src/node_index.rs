@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use seda_xmlstore::{Collection, NodeId, PathId};
+use seda_xmlstore::{Collection, DocId, Document, NodeId, PathId};
 
 use crate::query::FullTextQuery;
 use crate::tokenize::{terms, tokenize};
@@ -43,7 +43,7 @@ pub struct ScoredNode {
 }
 
 /// Inverted full-text index over the direct text content of nodes.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeIndex {
     postings: HashMap<String, Vec<Posting>>,
     /// Tokenised direct text of every indexed node (random access / phrase
@@ -54,41 +54,94 @@ pub struct NodeIndex {
     indexed_nodes: usize,
 }
 
+/// Partial node index over a single document, produced by
+/// [`NodeIndex::build_shard`] and consumed by [`NodeIndex::merge`].
+///
+/// Shards carry globally valid [`NodeId`]s and [`PathId`]s because documents
+/// of a [`Collection`] share its symbol and path intern tables, so merging is
+/// a plain k-way union with no id remapping.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeIndexShard {
+    doc: Option<DocId>,
+    postings: HashMap<String, Vec<Posting>>,
+    node_tokens: HashMap<NodeId, Vec<String>>,
+    node_paths: HashMap<NodeId, PathId>,
+    indexed_nodes: usize,
+}
+
+impl NodeIndexShard {
+    /// The document this shard was built from.
+    pub fn doc(&self) -> Option<DocId> {
+        self.doc
+    }
+
+    /// Number of nodes with indexed content in this shard.
+    pub fn indexed_node_count(&self) -> usize {
+        self.indexed_nodes
+    }
+}
+
 impl NodeIndex {
     /// Builds the index over every node of the collection that has direct
     /// text content (elements with text and attributes).
+    ///
+    /// This is the sequential reference path; it is equivalent to building
+    /// one shard per document with [`NodeIndex::build_shard`] and combining
+    /// them with [`NodeIndex::merge`].
     pub fn build(collection: &Collection) -> Self {
-        let mut index = NodeIndex::default();
-        for doc in collection.documents() {
-            for (ordinal, node) in doc.iter() {
-                let Some(text) = node.text.as_deref() else { continue };
-                let tokens = tokenize(text);
-                if tokens.is_empty() {
-                    continue;
-                }
-                let node_id = NodeId::new(doc.id, ordinal);
-                let mut tfs: HashMap<&str, (u32, Vec<u32>)> = HashMap::new();
-                for token in &tokens {
-                    let entry = tfs.entry(token.text.as_str()).or_insert((0, Vec::new()));
-                    entry.0 += 1;
-                    entry.1.push(token.position);
-                }
-                for (term, (tf, positions)) in tfs {
-                    index
-                        .postings
-                        .entry(term.to_string())
-                        .or_default()
-                        .push(Posting { node: node_id, tf, positions });
-                }
-                index
-                    .node_tokens
-                    .insert(node_id, tokens.into_iter().map(|t| t.text).collect());
-                index.node_paths.insert(node_id, node.path);
-                index.indexed_nodes += 1;
+        Self::merge(collection.documents().map(Self::build_shard).collect())
+    }
+
+    /// Builds the partial index of a single document (the per-shard phase of
+    /// the shard → merge build lifecycle).
+    pub fn build_shard(doc: &Document) -> NodeIndexShard {
+        let mut shard = NodeIndexShard { doc: Some(doc.id), ..NodeIndexShard::default() };
+        for (ordinal, node) in doc.iter() {
+            let Some(text) = node.text.as_deref() else { continue };
+            let tokens = tokenize(text);
+            if tokens.is_empty() {
+                continue;
             }
+            let node_id = NodeId::new(doc.id, ordinal);
+            let mut tfs: HashMap<&str, (u32, Vec<u32>)> = HashMap::new();
+            for token in &tokens {
+                let entry = tfs.entry(token.text.as_str()).or_insert((0, Vec::new()));
+                entry.0 += 1;
+                entry.1.push(token.position);
+            }
+            for (term, (tf, positions)) in tfs {
+                shard.postings.entry(term.to_string()).or_default().push(Posting {
+                    node: node_id,
+                    tf,
+                    positions,
+                });
+            }
+            shard.node_tokens.insert(node_id, tokens.into_iter().map(|t| t.text).collect());
+            shard.node_paths.insert(node_id, node.path);
+            shard.indexed_nodes += 1;
         }
-        // Postings are built in document order because documents are visited
-        // in order; keep them sorted by node id for deterministic iteration.
+        shard
+    }
+
+    /// Merges per-document shards into the full index (the merge phase of the
+    /// shard → merge build lifecycle).
+    ///
+    /// Shards are merged in ascending document order regardless of the order
+    /// they are passed in, so the result is deterministic and identical to
+    /// the sequential [`NodeIndex::build`].
+    pub fn merge(mut shards: Vec<NodeIndexShard>) -> Self {
+        shards.sort_by_key(|s| s.doc);
+        let mut index = NodeIndex::default();
+        for shard in shards {
+            for (term, postings) in shard.postings {
+                index.postings.entry(term).or_default().extend(postings);
+            }
+            index.node_tokens.extend(shard.node_tokens);
+            index.node_paths.extend(shard.node_paths);
+            index.indexed_nodes += shard.indexed_nodes;
+        }
+        // Per-term posting lists are concatenated in document order; keep them
+        // sorted by node id for deterministic iteration.
         for postings in index.postings.values_mut() {
             postings.sort_by_key(|p| p.node);
         }
@@ -179,8 +232,7 @@ impl NodeIndex {
     where
         F: FnMut(PathId) -> bool,
     {
-        let candidates: Vec<NodeId> = if query.is_match_all() || query.positive_terms().is_empty()
-        {
+        let candidates: Vec<NodeId> = if query.is_match_all() || query.positive_terms().is_empty() {
             // Match-all or pure-negation queries must consider every indexed
             // node.
             let mut nodes: Vec<NodeId> = self.node_tokens.keys().copied().collect();
@@ -211,7 +263,10 @@ impl NodeIndex {
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.node.cmp(&b.node))
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
         });
         scored
     }
@@ -225,7 +280,10 @@ impl NodeIndex {
             .map(|p| ScoredNode { node: p.node, score: self.term_score(term, p.node, p.tf) })
             .collect();
         scored.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.node.cmp(&b.node))
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
         });
         scored
     }
@@ -276,8 +334,9 @@ mod tests {
         let contexts: Vec<String> =
             results.iter().map(|r| collection.context_string(r.node).unwrap()).collect();
         assert!(contexts.contains(&"/country/name".to_string()));
-        assert!(contexts
-            .contains(&"/country/economy/export_partners/item/trade_country".to_string()));
+        assert!(
+            contexts.contains(&"/country/economy/export_partners/item/trade_country".to_string())
+        );
     }
 
     #[test]
@@ -359,6 +418,33 @@ mod tests {
         assert_eq!(index.evaluate(&q).len(), 2);
         let q = FullTextQuery::parse("\"united states\" AND NOT mexico").unwrap();
         assert_eq!(index.evaluate(&q).len(), 2, "negation applies to node content, not documents");
+    }
+
+    #[test]
+    fn merged_shards_equal_sequential_build() {
+        let (collection, sequential) = sample();
+        let shards: Vec<NodeIndexShard> =
+            collection.documents().map(NodeIndex::build_shard).collect();
+        assert_eq!(shards.len(), 2);
+        assert!(shards.iter().all(|s| s.doc().is_some()));
+        let merged = NodeIndex::merge(shards);
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let (collection, sequential) = sample();
+        let mut shards: Vec<NodeIndexShard> =
+            collection.documents().map(NodeIndex::build_shard).collect();
+        shards.reverse();
+        assert_eq!(NodeIndex::merge(shards), sequential);
+    }
+
+    #[test]
+    fn merge_of_no_shards_is_empty() {
+        let merged = NodeIndex::merge(Vec::new());
+        assert_eq!(merged.indexed_node_count(), 0);
+        assert_eq!(merged.term_count(), 0);
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl FullTextQuery {
     pub fn matches_tokens(&self, tokens: &[String]) -> bool {
         match self {
             FullTextQuery::Any => true,
-            FullTextQuery::Keywords(ts) => {
-                ts.iter().all(|t| tokens.iter().any(|tok| tok == t))
-            }
+            FullTextQuery::Keywords(ts) => ts.iter().all(|t| tokens.iter().any(|tok| tok == t)),
             FullTextQuery::Phrase(ts) => {
                 if ts.is_empty() {
                     return true;
@@ -269,9 +267,7 @@ impl Parser {
                     words.push(next.clone());
                     self.pos += 1;
                 }
-                Ok(FullTextQuery::Keywords(
-                    words.iter().flat_map(|w| terms(w)).collect(),
-                ))
+                Ok(FullTextQuery::Keywords(words.iter().flat_map(|w| terms(w)).collect()))
             }
             Some(Lexeme::LParen) => {
                 let inner = self.parse_or()?;

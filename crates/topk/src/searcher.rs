@@ -140,7 +140,12 @@ impl<'a> TopKSearcher<'a> {
             return None;
         }
         let score = config.content_weight * content + config.structure_weight * compact;
-        Some(ResultTuple { nodes: nodes.to_vec(), content_score: content, compactness: compact, score })
+        Some(ResultTuple {
+            nodes: nodes.to_vec(),
+            content_score: content,
+            compactness: compact,
+            score,
+        })
     }
 
     /// Runs the Threshold-Algorithm search.
@@ -242,8 +247,8 @@ impl<'a> TopKSearcher<'a> {
                     })
                     .collect();
                 let mut threshold_content = f64::NEG_INFINITY;
-                for j in 0..m {
-                    let mut bound = frontier[j];
+                for (j, &front) in frontier.iter().enumerate().take(m) {
+                    let mut bound = front;
                     for (l, best) in best_scores.iter().enumerate() {
                         if l != j {
                             bound += best;
@@ -269,7 +274,8 @@ impl<'a> TopKSearcher<'a> {
         }
         let _ = exhausted;
 
-        let mut tuples: Vec<ResultTuple> = buffer.into_sorted_vec().into_iter().map(|h| h.0).collect();
+        let mut tuples: Vec<ResultTuple> =
+            buffer.into_sorted_vec().into_iter().map(|h| h.0).collect();
         // `into_sorted_vec` is ascending; we want best-first.
         tuples.reverse();
         tuples.dedup_by(|a, b| a.nodes == b.nodes);
@@ -318,7 +324,10 @@ impl<'a> TopKSearcher<'a> {
             .filter_map(|(nodes, content)| self.score_tuple(&nodes, content, config, &mut stats))
             .collect();
         tuples.sort_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.nodes.cmp(&b.nodes))
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.nodes.cmp(&b.nodes))
         });
         tuples.truncate(config.k);
         TopKResult { tuples, stats }
@@ -425,15 +434,16 @@ mod tests {
         // The best US tuple must pair China with 15 or Canada with 16.9 (the
         // same-item pairing), not a cross-item combination.
         let best = &result.tuples[0];
-        let contents: Vec<String> =
-            best.nodes.iter().map(|&n| c.content(n).unwrap()).collect();
+        let contents: Vec<String> = best.nodes.iter().map(|&n| c.content(n).unwrap()).collect();
         let same_item = (contents.contains(&"China".to_string())
             && contents.contains(&"15".to_string()))
-            || (contents.contains(&"Canada".to_string())
-                && contents.contains(&"16.9".to_string()))
+            || (contents.contains(&"Canada".to_string()) && contents.contains(&"16.9".to_string()))
             || (contents.contains(&"United States".to_string())
                 && contents.contains(&"70.6".to_string()));
-        assert!(same_item, "best tuple should pair a trade country with its own percentage: {contents:?}");
+        assert!(
+            same_item,
+            "best tuple should pair a trade country with its own percentage: {contents:?}"
+        );
     }
 
     #[test]
@@ -447,7 +457,12 @@ mod tests {
         let naive = searcher.search_naive(&terms, &config);
         assert_eq!(ta.tuples.len(), naive.tuples.len());
         for (a, b) in ta.tuples.iter().zip(naive.tuples.iter()) {
-            assert!((a.score - b.score).abs() < 1e-9, "TA and naive disagree: {} vs {}", a.score, b.score);
+            assert!(
+                (a.score - b.score).abs() < 1e-9,
+                "TA and naive disagree: {} vs {}",
+                a.score,
+                b.score
+            );
         }
     }
 
@@ -499,10 +514,8 @@ mod tests {
         let (index, graph) = searcher_parts(&c);
         let searcher = TopKSearcher::new(&c, &index, &graph);
         let name_path = c.paths().get_str(c.symbols(), "/country/name").unwrap();
-        let terms = vec![TermInput::with_paths(
-            FullTextQuery::phrase("United States"),
-            vec![name_path],
-        )];
+        let terms =
+            vec![TermInput::with_paths(FullTextQuery::phrase("United States"), vec![name_path])];
         let result = searcher.search(&terms, &TopKConfig::default());
         assert_eq!(result.tuples.len(), 1);
         assert_eq!(c.context_string(result.tuples[0].nodes[0]).unwrap(), "/country/name");

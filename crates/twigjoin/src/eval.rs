@@ -175,8 +175,7 @@ fn expand_solutions(
             if top < 0 {
                 continue;
             }
-            for idx in 0..=top as usize {
-                let entry = &stacks[level][idx];
+            for entry in &stacks[level][..=top as usize] {
                 let structural_ok = match axis {
                     Axis::Child => entry.dewey.is_parent_of(&child_dewey),
                     Axis::Descendant => entry.dewey.is_ancestor_of(&child_dewey),
@@ -274,8 +273,7 @@ fn merge_solutions(
     }
     let left_keys: Vec<usize> = left[0].keys().copied().collect();
     let right_keys: Vec<usize> = right[0].keys().copied().collect();
-    let shared: Vec<usize> =
-        left_keys.iter().copied().filter(|k| right_keys.contains(k)).collect();
+    let shared: Vec<usize> = left_keys.iter().copied().filter(|k| right_keys.contains(k)).collect();
 
     let key_of = |solution: &BTreeMap<usize, u32>| -> Vec<u32> {
         shared.iter().map(|k| solution[k]).collect()
@@ -356,8 +354,7 @@ mod tests {
         let name_col = m.column_of(m.output_nodes[0]).unwrap();
         let _ = name_col;
         for row in &m.rows {
-            let contents: Vec<String> =
-                row.iter().map(|&n| c.content(n).unwrap()).collect();
+            let contents: Vec<String> = row.iter().map(|&n| c.content(n).unwrap()).collect();
             // trade_country and percentage must come from the same item.
             let valid = matches!(
                 (contents[1].as_str(), contents[2].as_str()),
@@ -375,7 +372,8 @@ mod tests {
             "/country/economy/import_partners/item/trade_country",
         ])
         .unwrap();
-        let tc = p.node_indices().into_iter().find(|&i| p.node(i).label == "trade_country").unwrap();
+        let tc =
+            p.node_indices().into_iter().find(|&i| p.node(i).label == "trade_country").unwrap();
         p.set_predicate(tc, FullTextQuery::phrase("United States"));
         let m = evaluate_twig(&c, &p);
         assert_eq!(m.len(), 1);

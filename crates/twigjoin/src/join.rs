@@ -111,12 +111,7 @@ pub fn cross_twig_join(
     predicates: &[JoinPredicate],
 ) -> JoinedMatches {
     let mut result = JoinedMatches {
-        output_nodes: left
-            .output_nodes
-            .iter()
-            .chain(right.output_nodes.iter())
-            .copied()
-            .collect(),
+        output_nodes: left.output_nodes.iter().chain(right.output_nodes.iter()).copied().collect(),
         rows: Vec::new(),
     };
     if left.is_empty() || right.is_empty() {

@@ -87,13 +87,9 @@ impl TwigPattern {
             }
             let mut current = 0usize;
             for label in labels {
-                current = match pattern
-                    .nodes[current]
-                    .children
-                    .iter()
-                    .copied()
-                    .find(|&c| pattern.nodes[c].label == label && pattern.nodes[c].axis == Axis::Child)
-                {
+                current = match pattern.nodes[current].children.iter().copied().find(|&c| {
+                    pattern.nodes[c].label == label && pattern.nodes[c].axis == Axis::Child
+                }) {
                     Some(existing) => existing,
                     None => pattern.add_child(current, label, Axis::Child),
                 };
@@ -219,7 +215,8 @@ mod tests {
         assert_eq!(p.output_nodes().len(), 3);
         assert_eq!(p.leaves().len(), 3);
         // The two partner leaves share the same `item` parent node.
-        let tc = p.node_indices().into_iter().find(|&i| p.node(i).label == "trade_country").unwrap();
+        let tc =
+            p.node_indices().into_iter().find(|&i| p.node(i).label == "trade_country").unwrap();
         let pct = p.node_indices().into_iter().find(|&i| p.node(i).label == "percentage").unwrap();
         assert_eq!(p.node(tc).parent, p.node(pct).parent);
     }

@@ -92,12 +92,8 @@ impl DeweyId {
     /// `None` when the IDs share no prefix (which cannot happen for two nodes
     /// of the same document, whose IDs both start with `1`).
     pub fn common_ancestor(&self, other: &DeweyId) -> Option<DeweyId> {
-        let len = self
-            .components
-            .iter()
-            .zip(other.components.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let len =
+            self.components.iter().zip(other.components.iter()).take_while(|(a, b)| a == b).count();
         DeweyId::new(self.components[..len].to_vec())
     }
 
@@ -106,12 +102,8 @@ impl DeweyId {
     /// the top-k unit.  Both IDs must belong to the same document for the
     /// result to be meaningful.
     pub fn tree_distance(&self, other: &DeweyId) -> usize {
-        let lca_len = self
-            .components
-            .iter()
-            .zip(other.components.iter())
-            .take_while(|(a, b)| a == b)
-            .count();
+        let lca_len =
+            self.components.iter().zip(other.components.iter()).take_while(|(a, b)| a == b).count();
         (self.components.len() - lca_len) + (other.components.len() - lca_len)
     }
 }
@@ -209,7 +201,7 @@ mod tests {
 
     #[test]
     fn document_order_is_lexicographic() {
-        let mut ids = vec![
+        let mut ids = [
             "1.2.1".parse::<DeweyId>().unwrap(),
             "1.1".parse().unwrap(),
             "1.10".parse().unwrap(),

@@ -98,10 +98,7 @@ impl Document {
     pub fn node_by_dewey(&self, dewey: &DeweyId) -> Option<u32> {
         // Nodes are in document order and Dewey order coincides with document
         // order, so a binary search over the arena works.
-        self.nodes
-            .binary_search_by(|n| n.dewey.cmp(dewey))
-            .ok()
-            .map(|i| i as u32)
+        self.nodes.binary_search_by(|n| n.dewey.cmp(dewey)).ok().map(|i| i as u32)
     }
 
     /// Ordinals of all nodes whose context equals `path`.
@@ -127,7 +124,12 @@ impl Document {
     /// Relative XML keys (Sec. 7 of the paper) use steps such as
     /// `../trade_country`: each `..` moves to the parent, each label moves to
     /// the children with that label.  Returns every node reached.
-    pub fn eval_relative_steps(&self, ordinal: u32, steps: &[RelativeStep], symbols: &SymbolTable) -> Vec<u32> {
+    pub fn eval_relative_steps(
+        &self,
+        ordinal: u32,
+        steps: &[RelativeStep],
+        symbols: &SymbolTable,
+    ) -> Vec<u32> {
         let mut frontier = vec![ordinal];
         for step in steps {
             let mut next = Vec::new();

@@ -1,7 +1,11 @@
-//! Parsing XML text into the store via `quick-xml`.
-
-use quick_xml::events::Event;
-use quick_xml::Reader;
+//! Parsing XML text into the store.
+//!
+//! The parser is a small hand-rolled scanner (the build environment has no
+//! crates.io access, so `quick-xml` is not available): it handles elements,
+//! attributes, self-closing tags, character data, CDATA sections, comments,
+//! processing instructions, DOCTYPE declarations and the five predefined
+//! entities plus numeric character references.  End tags are checked against
+//! the open-element stack, so unbalanced documents are rejected.
 
 use crate::collection::Collection;
 use crate::error::{Result, XmlStoreError};
@@ -14,73 +18,64 @@ use crate::node::DocId;
 /// verbatim.  Comments, processing instructions and the XML declaration are
 /// skipped; CDATA is treated as text.
 pub fn parse_into(collection: &mut Collection, uri: &str, xml: &str) -> Result<DocId> {
-    let mut reader = Reader::from_str(xml);
-    reader.trim_text(true);
-
     let mut builder = collection.build_document(uri);
-    let mut depth = 0usize;
+    let mut scanner = Scanner::new(xml);
+    let mut open_tags: Vec<String> = Vec::new();
     let mut saw_root = false;
 
-    loop {
-        match reader.read_event() {
-            Ok(Event::Start(start)) => {
-                let name = String::from_utf8_lossy(start.name().as_ref()).into_owned();
+    while let Some(event) = scanner.next_event()? {
+        match event {
+            Event::Start { name, attributes, self_closing } => {
+                if saw_root && open_tags.is_empty() {
+                    return Err(XmlStoreError::Parse(format!(
+                        "second root element {name:?} in document {uri}"
+                    )));
+                }
                 builder.start_element(&name)?;
                 saw_root = true;
-                depth += 1;
-                for attr in start.attributes() {
-                    let attr = attr.map_err(|e| XmlStoreError::Parse(e.to_string()))?;
-                    let key = String::from_utf8_lossy(attr.key.as_ref()).into_owned();
-                    let value = attr
-                        .unescape_value()
-                        .map_err(|e| XmlStoreError::Parse(e.to_string()))?
-                        .into_owned();
+                for (key, value) in attributes {
                     builder.attribute(&key, &value)?;
                 }
+                if self_closing {
+                    builder.end_element()?;
+                } else {
+                    open_tags.push(name);
+                }
             }
-            Ok(Event::Empty(start)) => {
-                let name = String::from_utf8_lossy(start.name().as_ref()).into_owned();
-                builder.start_element(&name)?;
-                saw_root = true;
-                for attr in start.attributes() {
-                    let attr = attr.map_err(|e| XmlStoreError::Parse(e.to_string()))?;
-                    let key = String::from_utf8_lossy(attr.key.as_ref()).into_owned();
-                    let value = attr
-                        .unescape_value()
-                        .map_err(|e| XmlStoreError::Parse(e.to_string()))?
-                        .into_owned();
-                    builder.attribute(&key, &value)?;
+            Event::End { name } => {
+                let Some(open) = open_tags.pop() else {
+                    return Err(XmlStoreError::Parse(format!(
+                        "closing tag </{name}> without matching opening tag"
+                    )));
+                };
+                if open != name {
+                    return Err(XmlStoreError::Parse(format!(
+                        "closing tag </{name}> does not match open element <{open}>"
+                    )));
                 }
                 builder.end_element()?;
             }
-            Ok(Event::End(_)) => {
-                builder.end_element()?;
-                depth = depth.saturating_sub(1);
-            }
-            Ok(Event::Text(text)) => {
-                let value =
-                    text.unescape().map_err(|e| XmlStoreError::Parse(e.to_string()))?.into_owned();
-                if !value.trim().is_empty() {
-                    builder.text(value.trim())?;
+            Event::Text(value) => {
+                let trimmed = value.trim();
+                if !trimmed.is_empty() {
+                    if open_tags.is_empty() {
+                        return Err(XmlStoreError::Parse(format!(
+                            "text content {trimmed:?} outside the root element"
+                        )));
+                    }
+                    builder.text(trimmed)?;
                 }
             }
-            Ok(Event::CData(cdata)) => {
-                let value = String::from_utf8_lossy(&cdata).into_owned();
-                if !value.trim().is_empty() {
-                    builder.text(value.trim())?;
-                }
-            }
-            Ok(Event::Eof) => break,
-            Ok(_) => {}
-            Err(e) => return Err(XmlStoreError::Parse(e.to_string())),
         }
     }
 
     if !saw_root {
         return Err(XmlStoreError::EmptyDocument);
     }
-    if depth != 0 {
-        return Err(XmlStoreError::Parse("unbalanced element tags".into()));
+    if let Some(open) = open_tags.last() {
+        return Err(XmlStoreError::Parse(format!(
+            "unbalanced element tags: <{open}> never closed"
+        )));
     }
     let document = builder.finish()?;
     collection.insert(document)
@@ -96,6 +91,239 @@ where
         parse_into(&mut collection, uri, xml)?;
     }
     Ok(collection)
+}
+
+/// One markup event produced by the scanner.
+enum Event {
+    Start { name: String, attributes: Vec<(String, String)>, self_closing: bool },
+    End { name: String },
+    Text(String),
+}
+
+/// Byte-level XML scanner over the input text.
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Scanner { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn next_event(&mut self) -> Result<Option<Event>> {
+        loop {
+            if self.pos >= self.bytes.len() {
+                return Ok(None);
+            }
+            if self.bytes[self.pos] != b'<' {
+                return self.scan_text().map(Some);
+            }
+            // Markup: dispatch on what follows '<'.
+            match self.bytes.get(self.pos + 1) {
+                Some(b'!') if self.starts_with("<!--") => self.skip_until("-->")?,
+                Some(b'!') if self.starts_with("<![CDATA[") => {
+                    return self.scan_cdata().map(Some);
+                }
+                Some(b'!') => self.skip_declaration()?,
+                Some(b'?') => self.skip_until("?>")?,
+                Some(b'/') => return self.scan_end_tag().map(Some),
+                Some(_) => return self.scan_start_tag().map(Some),
+                None => return Err(XmlStoreError::Parse("dangling '<' at end of input".into())),
+            }
+        }
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.bytes[self.pos..].starts_with(prefix.as_bytes())
+    }
+
+    fn skip_until(&mut self, terminator: &str) -> Result<()> {
+        let t = terminator.as_bytes();
+        let mut i = self.pos;
+        while i + t.len() <= self.bytes.len() {
+            if &self.bytes[i..i + t.len()] == t {
+                self.pos = i + t.len();
+                return Ok(());
+            }
+            i += 1;
+        }
+        Err(XmlStoreError::Parse(format!("unterminated markup, expected {terminator:?}")))
+    }
+
+    /// Skips `<!DOCTYPE ...>` (tracking nested `[` internal subsets).
+    fn skip_declaration(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.bytes.len() {
+            match self.bytes[i] {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    self.pos = i + 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Err(XmlStoreError::Parse("unterminated <! declaration".into()))
+    }
+
+    fn scan_text(&mut self) -> Result<Event> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| XmlStoreError::Parse(e.to_string()))?;
+        Ok(Event::Text(unescape(raw)?))
+    }
+
+    fn scan_cdata(&mut self) -> Result<Event> {
+        let start = self.pos + "<![CDATA[".len();
+        self.pos = start;
+        self.skip_until("]]>")?;
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos - "]]>".len()])
+            .map_err(|e| XmlStoreError::Parse(e.to_string()))?;
+        Ok(Event::Text(raw.to_string()))
+    }
+
+    fn scan_end_tag(&mut self) -> Result<Event> {
+        self.pos += 2; // consume "</"
+        let name = self.scan_name()?;
+        self.skip_whitespace();
+        if self.bytes.get(self.pos) != Some(&b'>') {
+            return Err(XmlStoreError::Parse(format!("malformed closing tag </{name}")));
+        }
+        self.pos += 1;
+        Ok(Event::End { name })
+    }
+
+    fn scan_start_tag(&mut self) -> Result<Event> {
+        self.pos += 1; // consume '<'
+        let name = self.scan_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.bytes.get(self.pos) {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(Event::Start { name, attributes, self_closing: false });
+                }
+                Some(b'/') if self.bytes.get(self.pos + 1) == Some(&b'>') => {
+                    self.pos += 2;
+                    return Ok(Event::Start { name, attributes, self_closing: true });
+                }
+                Some(_) => attributes.push(self.scan_attribute(&name)?),
+                None => {
+                    return Err(XmlStoreError::Parse(format!("unterminated opening tag <{name}")));
+                }
+            }
+        }
+    }
+
+    fn scan_attribute(&mut self, element: &str) -> Result<(String, String)> {
+        let key = self.scan_name()?;
+        self.skip_whitespace();
+        if self.bytes.get(self.pos) != Some(&b'=') {
+            return Err(XmlStoreError::Parse(format!(
+                "attribute {key:?} of <{element}> has no value"
+            )));
+        }
+        self.pos += 1;
+        self.skip_whitespace();
+        let quote = match self.bytes.get(self.pos) {
+            Some(&q @ (b'"' | b'\'')) => q,
+            _ => {
+                return Err(XmlStoreError::Parse(format!(
+                    "attribute {key:?} of <{element}> has an unquoted value"
+                )));
+            }
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return Err(XmlStoreError::Parse(format!(
+                "unterminated value of attribute {key:?} on <{element}>"
+            )));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| XmlStoreError::Parse(e.to_string()))?;
+        self.pos += 1; // closing quote
+        Ok((key, unescape(raw)?))
+    }
+
+    fn scan_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b' ' | b'\t' | b'\r' | b'\n' | b'>' | b'/' | b'=' => break,
+                b'<' => {
+                    return Err(XmlStoreError::Parse("unexpected '<' inside a tag".into()));
+                }
+                _ => self.pos += 1,
+            }
+        }
+        if self.pos == start {
+            return Err(XmlStoreError::Parse("empty tag or attribute name".into()));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map(str::to_string)
+            .map_err(|e| XmlStoreError::Parse(e.to_string()))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+/// Resolves the predefined entities and numeric character references.
+fn unescape(raw: &str) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let Some(semi) = rest.find(';') else {
+            return Err(XmlStoreError::Parse(format!("unterminated entity in {raw:?}")));
+        };
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with('#') => {
+                let code = if let Some(hex) =
+                    entity.strip_prefix("#x").or(entity.strip_prefix("#X"))
+                {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    entity[1..].parse::<u32>()
+                }
+                .map_err(|_| XmlStoreError::Parse(format!("bad character reference &{entity};")))?;
+                out.push(char::from_u32(code).ok_or_else(|| {
+                    XmlStoreError::Parse(format!("invalid character reference &{entity};"))
+                })?);
+            }
+            _ => {
+                return Err(XmlStoreError::Parse(format!("unknown entity &{entity};")));
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -155,6 +383,14 @@ mod tests {
     }
 
     #[test]
+    fn numeric_character_references_are_resolved() {
+        let mut c = Collection::new();
+        parse_into(&mut c, "n.xml", r#"<root><t>&#65;&#x42;</t></root>"#).unwrap();
+        let t = c.paths().get_str(c.symbols(), "/root/t").unwrap();
+        assert_eq!(c.content(c.nodes_with_path(t)[0]).unwrap(), "AB");
+    }
+
+    #[test]
     fn cdata_is_text() {
         let mut c = Collection::new();
         parse_into(&mut c, "cd.xml", r#"<root><t><![CDATA[raw <text>]]></t></root>"#).unwrap();
@@ -175,6 +411,19 @@ mod tests {
     }
 
     #[test]
+    fn declarations_and_instructions_are_skipped() {
+        let mut c = Collection::new();
+        parse_into(
+            &mut c,
+            "d.xml",
+            "<?xml version=\"1.0\"?><!DOCTYPE root [<!ELEMENT root ANY>]><root><t>x</t></root>",
+        )
+        .unwrap();
+        let t = c.paths().get_str(c.symbols(), "/root/t").unwrap();
+        assert_eq!(c.content(c.nodes_with_path(t)[0]).unwrap(), "x");
+    }
+
+    #[test]
     fn empty_input_is_rejected() {
         let mut c = Collection::new();
         assert!(parse_into(&mut c, "empty.xml", "   ").is_err());
@@ -185,6 +434,9 @@ mod tests {
     fn malformed_xml_is_rejected() {
         let mut c = Collection::new();
         assert!(parse_into(&mut c, "bad.xml", "<a><b></a></b>").is_err());
+        assert!(parse_into(&mut c, "open.xml", "<a><b>text</b>").is_err());
+        assert!(parse_into(&mut c, "tworoots.xml", "<a/><b/>").is_err());
+        assert!(parse_into(&mut c, "stray.xml", "<a></a></b>").is_err());
     }
 
     #[test]

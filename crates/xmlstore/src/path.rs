@@ -134,10 +134,7 @@ impl PathTable {
 
     /// All path ids that contain `label` anywhere on the path.
     pub fn paths_containing(&self, label: Symbol) -> Vec<PathId> {
-        self.iter()
-            .filter(|(_, p)| p.steps().contains(&label))
-            .map(|(id, _)| id)
-            .collect()
+        self.iter().filter(|(_, p)| p.steps().contains(&label)).map(|(id, _)| id).collect()
     }
 
     /// Parses a `/a/b/c` string against a symbol table, interning any label
@@ -158,12 +155,8 @@ impl PathTable {
 
     /// Rebuilds the reverse lookup map after deserialisation.
     pub fn rebuild_lookup(&mut self) {
-        self.lookup = self
-            .paths
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), PathId(i as u32)))
-            .collect();
+        self.lookup =
+            self.paths.iter().enumerate().map(|(i, p)| (p.clone(), PathId(i as u32))).collect();
     }
 }
 

@@ -73,12 +73,8 @@ impl SymbolTable {
     /// Rebuilds the reverse lookup map; needed after deserialisation because
     /// the map is not serialised.
     pub fn rebuild_lookup(&mut self) {
-        self.lookup = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), Symbol(i as u32)))
-            .collect();
+        self.lookup =
+            self.names.iter().enumerate().map(|(i, n)| (n.clone(), Symbol(i as u32))).collect();
     }
 }
 

@@ -9,10 +9,8 @@ use seda_datagen::{factbook, FactbookConfig};
 use seda_textindex::{ContextIndex, CountStorage, FullTextQuery};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let countries: usize = std::env::var("SEDA_FACTBOOK_COUNTRIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let countries: usize =
+        std::env::var("SEDA_FACTBOOK_COUNTRIES").ok().and_then(|s| s.parse().ok()).unwrap_or(100);
     let collection = factbook::generate(&FactbookConfig::paper_scaled(countries, 6))?;
     let index = ContextIndex::build(&collection, CountStorage::DocumentStore);
 
@@ -45,10 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         freq[&country],
         collection.len()
     );
-    let mut tail: Vec<(usize, String)> = freq
-        .iter()
-        .map(|(p, f)| (*f, collection.path_string(*p)))
-        .collect();
+    let mut tail: Vec<(usize, String)> =
+        freq.iter().map(|(p, f)| (*f, collection.path_string(*p))).collect();
     tail.sort();
     println!("\nfive rarest paths (long tail):");
     for (f, p) in tail.iter().take(5) {
@@ -62,11 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Tag-probed bucket, as used when a query term carries a context.
-    let tagged = index.context_bucket_with_tag(
-        &collection,
-        &FullTextQuery::Any,
-        "trade_country",
-    );
+    let tagged = index.context_bucket_with_tag(&collection, &FullTextQuery::Any, "trade_country");
     println!("\ncontexts with leaf tag trade_country:");
     for entry in &tagged {
         println!("  {:<65} freq {:>6}", collection.path_string(entry.path), entry.frequency);

@@ -16,9 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c = engine.collection();
 
     // Query 1, refined to import partners.
-    let query = SedaQuery::parse(
-        r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
-    )?;
+    let query =
+        SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)?;
     let mut selections = ContextSelections::none();
     selections.select(0, vec![c.paths().get_str(c.symbols(), "/country/name").unwrap()]);
     selections.select(
@@ -37,10 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let result = engine.complete_results(&query, &selections, &[]);
     // Augment with the GDP fact so two cubes are produced.
-    let build = engine.build_star_schema(
-        &result,
-        &BuildOptions { add: vec!["GDP".into()], remove: vec![] },
-    );
+    let build = engine
+        .build_star_schema(&result, &BuildOptions { add: vec!["GDP".into()], remove: vec![] });
 
     let fact = build.schema.fact("import-trade-percentage").expect("percentage fact");
     println!("== import-trade-percentage cube ({} rows) ==", fact.len());

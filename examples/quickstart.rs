@@ -86,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ) {
         println!("\ntotal import percentage by partner:");
         for cell in &cube.cells {
-            println!("  {:<12} {:>6.1} (from {} rows)", cell.coordinates[0], cell.value, cell.count);
+            println!(
+                "  {:<12} {:>6.1} (from {} rows)",
+                cell.coordinates[0], cell.value, cell.count
+            );
         }
     }
     Ok(())

@@ -9,10 +9,8 @@ use seda_datagen::Dataset;
 use seda_dataguide::DataGuideSet;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::var("SEDA_TABLE1_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.2);
+    let scale: f64 =
+        std::env::var("SEDA_TABLE1_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.2);
 
     println!("Table 1: Dataguide statistics for threshold of 40% (corpus scale {scale})\n");
     println!(

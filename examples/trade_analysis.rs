@@ -14,10 +14,8 @@ use seda_datagen::{factbook, FactbookConfig};
 use seda_olap::{AggFn, BuildOptions, CubeQuery, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let countries: usize = std::env::var("SEDA_FACTBOOK_COUNTRIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60);
+    let countries: usize =
+        std::env::var("SEDA_FACTBOOK_COUNTRIES").ok().and_then(|s| s.parse().ok()).unwrap_or(60);
     let collection = factbook::generate(&FactbookConfig::paper_scaled(countries, 6))?;
     println!(
         "corpus: {} documents, {} nodes, {} distinct paths",
@@ -49,10 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .paths()
         .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
         .unwrap();
-    let pct = c
-        .paths()
-        .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
-        .unwrap();
+    let pct =
+        c.paths().get_str(c.symbols(), "/country/economy/import_partners/item/percentage").unwrap();
     session.select_contexts(0, vec![name]);
     session.select_contexts(1, vec![tc]);
     session.select_contexts(2, vec![pct]);
@@ -63,12 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in connections.display(engine.collection()).iter().take(5) {
         println!("   {line}");
     }
-    let same_item: Vec<_> = connections
-        .connections
-        .iter()
-        .filter(|conn| conn.length() == 2)
-        .cloned()
-        .collect();
+    let same_item: Vec<_> =
+        connections.connections.iter().filter(|conn| conn.length() == 2).cloned().collect();
     session.select_connections(same_item);
 
     // Step 4: complete results and the star schema (Figure 3).

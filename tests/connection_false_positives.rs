@@ -16,10 +16,9 @@ fn setup() -> (SedaEngine, Vec<(PathId, PathId)>, Vec<seda_dataguide::Connection
     let engine =
         SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
             .unwrap();
-    let query = SedaQuery::parse(
-        r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
-    )
-    .unwrap();
+    let query =
+        SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+            .unwrap();
     let topk = engine.top_k(&query, &ContextSelections::none(), 15);
     let instantiated =
         discover_connections(engine.collection(), engine.graph(), &topk.node_tuples(), 12);
@@ -36,8 +35,7 @@ fn setup() -> (SedaEngine, Vec<(PathId, PathId)>, Vec<seda_dataguide::Connection
     }
     if let (Some(name), Some(refugees)) = (
         c.paths().get_str(c.symbols(), "/country/name"),
-        c.paths()
-            .get_str(c.symbols(), "/country/transnational_issues/refugees/country_of_origin"),
+        c.paths().get_str(c.symbols(), "/country/transnational_issues/refugees/country_of_origin"),
     ) {
         pairs.push((name, refugees));
     }
@@ -50,8 +48,7 @@ fn false_positives_exist_and_are_a_subset_of_guide_connections() {
     let collection = engine.collection();
     let guides = engine.guides();
     let links = engine.guide_links();
-    let (fp, total) =
-        false_positive_connections(collection, guides, links, &instantiated, &pairs);
+    let (fp, total) = false_positive_connections(collection, guides, links, &instantiated, &pairs);
     assert!(total >= 1, "the dataguides connect the candidate pairs");
     assert!(fp <= total);
     assert!(fp >= 1, "cross import/export pairs and the refugees pair are never instantiated");
@@ -65,8 +62,13 @@ fn higher_thresholds_do_not_increase_false_positives() {
     for threshold in [0.1, 0.4, 0.9] {
         let guides = DataGuideSet::build(collection, threshold).unwrap();
         let links = guide_links(collection, engine.graph(), &guides);
-        let (fp, _total) =
-            false_positive_connections(collection, guides_ref(&guides), &links, &instantiated, &pairs);
+        let (fp, _total) = false_positive_connections(
+            collection,
+            guides_ref(&guides),
+            &links,
+            &instantiated,
+            &pairs,
+        );
         assert!(
             fp <= previous,
             "false positives must not increase with the threshold ({previous} -> {fp} at {threshold})"

@@ -36,10 +36,8 @@ fn stages_progress_through_the_feedback_loop() {
         .paths()
         .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
         .unwrap();
-    let pct = c
-        .paths()
-        .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
-        .unwrap();
+    let pct =
+        c.paths().get_str(c.symbols(), "/country/economy/import_partners/item/percentage").unwrap();
     let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
     session.select_contexts(0, vec![name]);
     session.select_contexts(1, vec![tc]);

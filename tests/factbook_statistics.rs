@@ -34,7 +34,10 @@ fn distinct_paths_form_a_long_tail() {
     let freq = c.path_document_frequency();
     let rare = freq.values().filter(|&&f| f <= 2).count();
     let prominent = freq.values().filter(|&&f| f as f64 >= 0.9 * c.len() as f64).count();
-    assert!(rare > prominent, "the tail of rare paths dominates ({rare} rare vs {prominent} prominent)");
+    assert!(
+        rare > prominent,
+        "the tail of rare paths dominates ({rare} rare vs {prominent} prominent)"
+    );
 }
 
 #[test]

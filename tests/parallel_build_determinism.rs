@@ -1,0 +1,78 @@
+//! Determinism of the shard-parallel engine build: building the same
+//! collection twice with `parallelism > 1` — and once sequentially — must
+//! yield identical substrates, identical guide links, identical dataguide
+//! statistics and identical query answers, regardless of worker scheduling.
+
+use seda_core::{ContextSelections, EngineConfig, SedaEngine, SedaQuery};
+use seda_datagen::{factbook, FactbookConfig};
+use seda_olap::Registry;
+
+fn build(parallelism: usize) -> SedaEngine {
+    let collection = factbook::generate(&FactbookConfig::small()).unwrap();
+    SedaEngine::build(
+        collection,
+        Registry::factbook_defaults(),
+        EngineConfig { parallelism, ..EngineConfig::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn parallel_builds_are_identical_across_runs_and_to_sequential() {
+    let sequential = build(1);
+    let first = build(4);
+    let second = build(4);
+
+    for parallel in [&first, &second] {
+        assert_eq!(parallel.node_index(), sequential.node_index());
+        assert_eq!(parallel.context_index(), sequential.context_index());
+        assert_eq!(parallel.graph(), sequential.graph());
+        assert_eq!(parallel.guides(), sequential.guides());
+        assert_eq!(parallel.guide_links(), sequential.guide_links());
+        assert_eq!(parallel.dataguide_stats(), sequential.dataguide_stats());
+    }
+
+    // Guide links are part of the engine's public output; their order must be
+    // stable, not merely their content.
+    assert_eq!(first.guide_links(), second.guide_links());
+}
+
+#[test]
+fn parallel_query_answers_match_sequential_byte_for_byte() {
+    let sequential = build(1);
+    let parallel = build(3);
+
+    let query =
+        SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+            .unwrap();
+
+    let seq_summary = sequential.context_summary(&query);
+    let par_summary = parallel.context_summary(&query);
+    assert_eq!(seq_summary.buckets.len(), par_summary.buckets.len());
+    for (a, b) in seq_summary.buckets.iter().zip(par_summary.buckets.iter()) {
+        assert_eq!(a.entries, b.entries);
+    }
+
+    let seq_topk = sequential.top_k(&query, &ContextSelections::none(), 10);
+    let par_topk = parallel.top_k(&query, &ContextSelections::none(), 10);
+    assert_eq!(seq_topk.tuples.len(), par_topk.tuples.len());
+    for (a, b) in seq_topk.tuples.iter().zip(par_topk.tuples.iter()) {
+        assert_eq!(a.nodes, b.nodes);
+        assert!((a.score - b.score).abs() < 1e-12);
+    }
+
+    let seq_complete = sequential.complete_results(&query, &ContextSelections::none(), &[]);
+    let par_complete = parallel.complete_results(&query, &ContextSelections::none(), &[]);
+    assert_eq!(seq_complete.rows, par_complete.rows);
+}
+
+#[test]
+fn build_profile_is_surfaced_for_parallel_builds() {
+    let engine = build(4);
+    let profile = engine.build_profile();
+    assert_eq!(profile.parallelism, 4);
+    assert_eq!(profile.documents, engine.collection().len());
+    assert_eq!(profile.shards, engine.collection().len());
+    assert!(profile.shard_secs() > 0.0);
+    assert!(profile.total_secs >= profile.shard_secs());
+}

@@ -36,10 +36,9 @@ fn import_selection(engine: &SedaEngine) -> ContextSelections {
 #[test]
 fn query1_fact_table_contains_the_papers_fixed_rows() {
     let engine = engine();
-    let query = SedaQuery::parse(
-        r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
-    )
-    .unwrap();
+    let query =
+        SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+            .unwrap();
     let selections = import_selection(&engine);
     let result = engine.complete_results(&query, &selections, &[]);
     assert!(!result.is_empty());
@@ -70,8 +69,12 @@ fn query1_fact_table_contains_the_papers_fixed_rows() {
         ("United States", "2004", "China", "12.5"),
         ("United States", "2004", "Mexico", "10.7"),
     ] {
-        let expected =
-            (expected.0.to_string(), expected.1.to_string(), expected.2.to_string(), expected.3.to_string());
+        let expected = (
+            expected.0.to_string(),
+            expected.1.to_string(),
+            expected.2.to_string(),
+            expected.3.to_string(),
+        );
         assert!(rows.contains(&expected), "missing Figure 3 row {expected:?}");
     }
 
@@ -115,7 +118,8 @@ fn session_reproduces_the_same_cube_and_aggregates_it() {
     let us_2006 = session
         .aggregate(
             "import-trade-percentage",
-            &CubeQuery::sum(&["import-country"], "import-trade-percentage").filter("year", "2006")
+            &CubeQuery::sum(&["import-country"], "import-trade-percentage")
+                .filter("year", "2006")
                 .filter("country", "United States"),
         )
         .unwrap();
@@ -128,10 +132,9 @@ fn session_reproduces_the_same_cube_and_aggregates_it() {
 #[test]
 fn topk_results_for_query1_are_connected_and_ranked() {
     let engine = engine();
-    let query = SedaQuery::parse(
-        r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
-    )
-    .unwrap();
+    let query =
+        SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
+            .unwrap();
     let topk = engine.top_k(&query, &ContextSelections::none(), 10);
     assert!(!topk.tuples.is_empty());
     for window in topk.tuples.windows(2) {

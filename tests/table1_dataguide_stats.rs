@@ -25,7 +25,11 @@ fn googlebase_collapses_to_one_guide_per_category() {
     let config = GoogleBaseConfig { items: 600, categories: 24, ..GoogleBaseConfig::small() };
     let collection = googlebase::generate(&config).unwrap();
     let guides = DataGuideSet::build(&collection, 0.4).unwrap();
-    assert_eq!(guides.len(), config.categories, "paper: 10000 documents -> 88 dataguides (one per flat category)");
+    assert_eq!(
+        guides.len(),
+        config.categories,
+        "paper: 10000 documents -> 88 dataguides (one per flat category)"
+    );
 }
 
 #[test]

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! two marker traits and re-exports the no-op derive macros from the sibling
+//! `serde_derive` stub.  Nothing in this workspace performs actual
+//! serialisation yet; when a real serialisation feature lands, drop the
+//! `vendor/serde*` path dependencies and depend on the real crates.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

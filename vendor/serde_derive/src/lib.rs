@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this crate accepts
+//! `#[derive(Serialize, Deserialize)]` (including `#[serde(...)]` helper
+//! attributes such as `#[serde(skip)]`) and expands to nothing.  The derives
+//! exist so the annotated types keep compiling and the real serde can be
+//! swapped back in by replacing the `vendor/` path dependencies.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted and discarded.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted and discarded.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
