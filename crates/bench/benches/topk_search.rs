@@ -3,16 +3,60 @@
 //! The paper claims SEDA "first quickly retrieves top-k tuples" before any
 //! expensive complete-result computation.  This bench measures the
 //! Threshold-Algorithm searcher for k ∈ {1, 10, 100} against the exhaustive
-//! baseline, over Factbook-like corpora of increasing size.
+//! baseline over the googlebase / mondial / factbook workloads (the same
+//! workloads `bench_topk` snapshots into `BENCH_topk.json`), plus a
+//! factbook scaling series.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use seda_bench::{factbook_engine, query1};
+use seda_bench::{factbook_engine, query1, topk_workloads};
 use seda_core::ContextSelections;
-use seda_topk::{TopKConfig, TopKSearcher};
+use seda_topk::{SearchScratch, TopKConfig, TopKSearcher};
 
-fn bench_topk(c: &mut Criterion) {
+/// The three standard workloads, searched through a reused scratch (the
+/// steady-state serving configuration).
+fn bench_workloads(c: &mut Criterion) {
     let mut group = c.benchmark_group("topk_search");
+    group.sample_size(10);
+
+    for workload in topk_workloads() {
+        let searcher = TopKSearcher::new(
+            workload.engine.collection(),
+            workload.engine.node_index(),
+            workload.engine.graph(),
+        );
+        let terms = workload.term_inputs();
+        let mut scratch = SearchScratch::new();
+        for &k in &[1usize, 10, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ta_{}", workload.name), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        searcher
+                            .search_with(&terms, &TopKConfig::with_k(k), &mut scratch)
+                            .tuples
+                            .len()
+                    })
+                },
+            );
+        }
+        group.bench_function(format!("naive_{}/10", workload.name), |b| {
+            b.iter(|| {
+                searcher
+                    .search_naive_with(&terms, &TopKConfig::with_k(10), &mut scratch)
+                    .tuples
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Factbook scaling series with the engine-level entry point (cached scratch
+/// inside the engine) and a scoring ablation.
+fn bench_factbook_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_search_factbook_scaling");
     group.sample_size(10);
 
     for &countries in &[20usize, 60, 120] {
@@ -37,19 +81,25 @@ fn bench_topk(c: &mut Criterion) {
                 None => seda_topk::TermInput::new(t.search.clone()),
             })
             .collect();
+        let mut scratch = SearchScratch::new();
         group.bench_function(format!("naive_{countries}countries/10"), |b| {
-            b.iter(|| searcher.search_naive(&terms, &TopKConfig::with_k(10)).tuples.len())
+            b.iter(|| {
+                searcher
+                    .search_naive_with(&terms, &TopKConfig::with_k(10), &mut scratch)
+                    .tuples
+                    .len()
+            })
         });
 
         // Scoring ablation: content-only (structure weight 0) vs combined.
         let mut content_only = TopKConfig::with_k(10);
         content_only.structure_weight = 0.0;
         group.bench_function(format!("ta_content_only_{countries}countries/10"), |b| {
-            b.iter(|| searcher.search(&terms, &content_only).tuples.len())
+            b.iter(|| searcher.search_with(&terms, &content_only, &mut scratch).tuples.len())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_topk);
+criterion_group!(benches, bench_workloads, bench_factbook_scaling);
 criterion_main!(benches);

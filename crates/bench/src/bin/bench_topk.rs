@@ -1,0 +1,40 @@
+//! Emits the machine-readable top-k benchmark report (`BENCH_topk.json`).
+//!
+//! Runs the Threshold-Algorithm searcher and the exhaustive baseline over the
+//! googlebase / mondial / factbook workloads and records wall times plus the
+//! work counters of every run.  The committed `BENCH_topk.json` at the repo
+//! root keeps one entry per PR so the bench trajectory is reviewable; CI only
+//! compiles this binary (`cargo bench --no-run` + `cargo build`), it does not
+//! re-measure on shared runners.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin bench_topk [-- <out.json>]`
+//! (default output path `BENCH_topk.json`; set `BENCH_LABEL` to tag the run).
+
+use std::time::Instant;
+
+use seda_bench::{topk_workloads, TopKMeasurement};
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_topk.json".to_string());
+    let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "local".to_string());
+
+    let started = Instant::now();
+    let mut measurements: Vec<TopKMeasurement> = Vec::new();
+    for workload in topk_workloads() {
+        eprintln!("workload {} ({} docs) ...", workload.name, workload.engine.collection().len());
+        measurements.extend(workload.measure());
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"label\": {:?},\n", label));
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&m.to_json("    "));
+        json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+    eprintln!("wrote {out_path} in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -195,6 +195,176 @@ pub fn query1() -> SedaQuery {
         .expect("query 1 parses")
 }
 
+/// One top-k benchmark workload: an engine plus the query that exercises it.
+pub struct TopKWorkload {
+    /// Workload name (`googlebase`, `mondial`, `factbook`).
+    pub name: &'static str,
+    /// The query text (parseable by [`SedaQuery::parse`]).
+    pub query_text: &'static str,
+    /// The engine built over the workload's corpus.
+    pub engine: SedaEngine,
+}
+
+/// One measured top-k run, serialisable into the `BENCH_topk.json` report.
+#[derive(Debug, Clone)]
+pub struct TopKMeasurement {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Query text.
+    pub query: &'static str,
+    /// `ta` or `naive`.
+    pub algo: &'static str,
+    /// Requested k.
+    pub k: usize,
+    /// Result tuples returned.
+    pub tuples: usize,
+    /// Best-of-three wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Entries consumed from sorted posting lists.
+    pub sorted_accesses: usize,
+    /// Random-access score probes.
+    pub random_accesses: usize,
+    /// Candidate tuples scored (connectivity + compactness).
+    pub tuples_scored: usize,
+    /// Nodes visited by BFS connectivity/compactness checks.
+    pub bfs_visits: u64,
+    /// Candidate combinations clipped by the candidate limit.
+    pub candidates_truncated: usize,
+    /// Whether the Threshold Algorithm terminated early.
+    pub early_terminated: bool,
+}
+
+impl TopKMeasurement {
+    /// Renders the measurement as one indented JSON object (no trailing
+    /// newline).
+    pub fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{indent}{{\"workload\": {:?}, \"query\": {:?}, \"algo\": {:?}, \"k\": {}, \
+             \"tuples\": {}, \"wall_ms\": {:.3}, \"sorted_accesses\": {}, \
+             \"random_accesses\": {}, \"tuples_scored\": {}, \"bfs_visits\": {}, \
+             \"candidates_truncated\": {}, \"early_terminated\": {}}}",
+            self.workload,
+            self.query,
+            self.algo,
+            self.k,
+            self.tuples,
+            self.wall_ms,
+            self.sorted_accesses,
+            self.random_accesses,
+            self.tuples_scored,
+            self.bfs_visits,
+            self.candidates_truncated,
+            self.early_terminated,
+        )
+    }
+}
+
+impl TopKWorkload {
+    /// Resolves the workload's query into concrete top-k term inputs.
+    pub fn term_inputs(&self) -> Vec<seda_topk::TermInput> {
+        let collection = self.engine.collection();
+        SedaQuery::parse(self.query_text)
+            .expect("workload query parses")
+            .terms
+            .iter()
+            .map(|t| match t.context.allowed_paths(collection) {
+                Some(paths) => seda_topk::TermInput::with_paths(t.search.clone(), paths),
+                None => seda_topk::TermInput::new(t.search.clone()),
+            })
+            .collect()
+    }
+
+    /// Measures TA at k ∈ {1, 10, 100} plus the naive baseline at k = 10,
+    /// each best-of-three after one warm-up run, through a reused
+    /// [`seda_topk::SearchScratch`] (the steady-state serving configuration,
+    /// matching what `SedaEngine::top_k` does with its cached scratch).
+    pub fn measure(&self) -> Vec<TopKMeasurement> {
+        let searcher = seda_topk::TopKSearcher::new(
+            self.engine.collection(),
+            self.engine.node_index(),
+            self.engine.graph(),
+        );
+        let terms = self.term_inputs();
+        let mut scratch = seda_topk::SearchScratch::new();
+        let mut out = Vec::new();
+        for &k in &[1usize, 10, 100] {
+            let config = seda_topk::TopKConfig::with_k(k);
+            let (result, wall_ms) =
+                best_of_three(|| searcher.search_with(&terms, &config, &mut scratch));
+            out.push(self.measurement("ta", k, wall_ms, &result));
+        }
+        let config = seda_topk::TopKConfig::with_k(10);
+        let (result, wall_ms) =
+            best_of_three(|| searcher.search_naive_with(&terms, &config, &mut scratch));
+        out.push(self.measurement("naive", 10, wall_ms, &result));
+        out
+    }
+
+    fn measurement(
+        &self,
+        algo: &'static str,
+        k: usize,
+        wall_ms: f64,
+        result: &seda_topk::TopKResult,
+    ) -> TopKMeasurement {
+        TopKMeasurement {
+            workload: self.name,
+            query: self.query_text,
+            algo,
+            k,
+            tuples: result.tuples.len(),
+            wall_ms,
+            sorted_accesses: result.stats.sorted_accesses,
+            random_accesses: result.stats.random_accesses,
+            tuples_scored: result.stats.tuples_scored,
+            bfs_visits: result.stats.bfs_visits,
+            candidates_truncated: result.stats.candidates_truncated,
+            early_terminated: result.stats.early_terminated,
+        }
+    }
+}
+
+fn best_of_three<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let warmup = f();
+    let mut best = f64::INFINITY;
+    let mut result = warmup;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        result = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (result, best)
+}
+
+/// The three standard top-k benchmark workloads (googlebase, mondial and
+/// factbook corpora with queries that exercise joins, cross-document BFS and
+/// phrase scoring respectively).
+pub fn topk_workloads() -> Vec<TopKWorkload> {
+    let build = |collection: Collection| {
+        SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+            .expect("workload engine build")
+    };
+    vec![
+        TopKWorkload {
+            name: "googlebase",
+            query_text: "(title, model) AND (price, *) AND (condition, new)",
+            engine: build(
+                googlebase::generate(&GoogleBaseConfig::small()).expect("generate googlebase"),
+            ),
+        },
+        TopKWorkload {
+            name: "mondial",
+            query_text: "(name, *) AND (population, *)",
+            engine: build(mondial::generate(&MondialConfig::small()).expect("generate mondial")),
+        },
+        TopKWorkload {
+            name: "factbook",
+            query_text: r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
+            engine: factbook_engine(40, 3),
+        },
+    ]
+}
+
 /// Runs the full Query 1 pipeline (context refinement to import partners,
 /// complete results, star schema) and returns the build — the Figure 3
 /// artefact.

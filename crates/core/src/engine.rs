@@ -12,6 +12,7 @@
 //! [`EngineConfig::parallelism`], and records a [`BuildProfile`] with
 //! per-substrate shard and merge wall times.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -22,6 +23,7 @@ use seda_dataguide::{
 };
 use seda_olap::{BuildOptions, QueryResultTable, Registry, StarSchemaBuild, StarSchemaBuilder};
 use seda_textindex::{ContextIndex, CountStorage, FullTextQuery, NodeIndex};
+use seda_topk::SearchScratch;
 use seda_topk::{TermInput, TopKConfig, TopKResult, TopKSearcher};
 use seda_twigjoin::{evaluate_twig, Axis, TwigPattern};
 use seda_xmlstore::{Collection, DocId, NodeId, PathId};
@@ -168,6 +170,37 @@ impl BuildProfile {
     }
 }
 
+/// Work counters and wall time of one top-k query, the read-path counterpart
+/// of [`BuildProfile`]: it shows where a query spent its effort (sorted /
+/// random accesses of the Threshold Algorithm, BFS visits of the
+/// connectivity checks) and whether the result is exact or clipped.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// The search's work counters (sorted/random accesses, tuples scored and
+    /// rejected, BFS visits, truncation, early termination).
+    pub stats: seda_topk::SearchStats,
+    /// End-to-end query wall time.
+    pub wall_secs: f64,
+}
+
+impl QueryProfile {
+    /// Renders the profile as a small human-readable line.
+    pub fn render(&self) -> String {
+        format!(
+            "query profile: {:.3}ms wall, {} sorted / {} random accesses, \
+             {} tuples scored ({} disconnected, {} truncated), {} BFS visits{}",
+            self.wall_secs * 1e3,
+            self.stats.sorted_accesses,
+            self.stats.random_accesses,
+            self.stats.tuples_scored,
+            self.stats.tuples_disconnected,
+            self.stats.candidates_truncated,
+            self.stats.bfs_visits,
+            if self.stats.early_terminated { ", early-terminated" } else { "" }
+        )
+    }
+}
+
 /// The SEDA engine: owns the collection, every index, the dataguide summary
 /// and the fact/dimension registry.
 pub struct SedaEngine {
@@ -180,6 +213,11 @@ pub struct SedaEngine {
     registry: Registry,
     config: EngineConfig,
     profile: BuildProfile,
+    /// Prepared-query substrate: the posting-list buffers, candidate arenas
+    /// and BFS scratch every top-k query reuses.  Guarded by a mutex so the
+    /// engine stays `Sync`; concurrent queries fall back to a fresh scratch
+    /// instead of blocking (see [`SedaEngine::top_k`]).
+    query_scratch: Mutex<SearchScratch>,
 }
 
 impl SedaEngine {
@@ -230,6 +268,7 @@ impl SedaEngine {
             registry,
             config,
             profile,
+            query_scratch: Mutex::new(SearchScratch::new()),
         })
     }
 
@@ -274,7 +313,7 @@ impl SedaEngine {
             DataGraph::build_shard(collection, doc, &config.graph)
         });
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
-        let graph = DataGraph::merge(shards);
+        let graph = DataGraph::merge(collection, shards);
         phase.finish_merge(merge_start);
         profile.graph = phase;
 
@@ -388,11 +427,37 @@ impl SedaEngine {
     }
 
     /// Runs the top-k search unit for a query, honouring context selections.
+    ///
+    /// The query runs through the engine's cached [`SearchScratch`] (posting
+    /// lists, candidate arenas, BFS scratch), so steady-state queries do not
+    /// allocate; when another query holds the scratch, a fresh one is used
+    /// rather than blocking.
     pub fn top_k(&self, query: &SedaQuery, selections: &ContextSelections, k: usize) -> TopKResult {
+        self.top_k_profiled(query, selections, k).0
+    }
+
+    /// Like [`SedaEngine::top_k`], additionally returning the
+    /// [`QueryProfile`] of the run (work counters plus wall time).
+    pub fn top_k_profiled(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        k: usize,
+    ) -> (TopKResult, QueryProfile) {
+        let start = Instant::now();
         let searcher = TopKSearcher::new(&self.collection, &self.node_index, &self.graph);
         let mut config = self.config.topk.clone();
         config.k = k;
-        searcher.search(&self.term_inputs(query, selections), &config)
+        let terms = self.term_inputs(query, selections);
+        let result = match self.query_scratch.try_lock() {
+            Ok(mut scratch) => searcher.search_with(&terms, &config, &mut scratch),
+            // Contended or poisoned: a fresh scratch keeps the query correct
+            // (and the engine Sync) at the cost of this query's allocations.
+            Err(_) => searcher.search(&terms, &config),
+        };
+        let profile =
+            QueryProfile { stats: result.stats.clone(), wall_secs: start.elapsed().as_secs_f64() };
+        (result, profile)
     }
 
     /// Computes the context summary of a query (Sec. 5): one bucket per term
@@ -632,7 +697,6 @@ impl SedaEngine {
                     if extended.len() == 1
                         || seda_datagraph::is_connected(
                             &self.graph,
-                            &self.collection,
                             &extended,
                             self.config.connection_max_depth,
                         )
@@ -675,7 +739,6 @@ impl SedaEngine {
                 }
                 let Some(hops) = shortest_path(
                     &self.graph,
-                    &self.collection,
                     nodes[i],
                     nodes[j],
                     self.config.connection_max_depth,

@@ -45,7 +45,7 @@ pub mod query;
 pub mod session;
 pub mod summaries;
 
-pub use engine::{BuildProfile, EngineConfig, PhaseProfile, SedaEngine};
+pub use engine::{BuildProfile, EngineConfig, PhaseProfile, QueryProfile, SedaEngine};
 pub use query::{ContextSpec, QueryError, QueryTerm, SedaQuery};
 pub use session::{Session, SessionStage};
 pub use summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};

@@ -104,7 +104,7 @@ proptest! {
             .map(|d| DataGraph::build_shard(&c, d.id, &config))
             .collect();
         shards.reverse();
-        let merged = DataGraph::merge(shards);
+        let merged = DataGraph::merge(&c, shards);
         prop_assert_eq!(&merged, &sequential);
         prop_assert_eq!(merged.edges(), sequential.edges());
     }

@@ -27,10 +27,11 @@ pub mod graph;
 pub mod traversal;
 
 pub use config::{GraphConfig, ValueKeySpec};
-pub use graph::{DataGraph, Edge, EdgeKind, GraphShard};
+pub use graph::{doc_component_builds_on_this_thread, DataGraph, Edge, EdgeKind, GraphShard};
 pub use traversal::{
-    bfs, compactness, connecting_tree_size, is_connected, pairwise_distances, shortest_distance,
-    shortest_path, BfsResult, Hop,
+    compactness, compactness_with, connecting_tree_size, connecting_tree_size_with, is_connected,
+    is_connected_with, pairwise_distances, shortest_distance, shortest_distance_with,
+    shortest_path, shortest_path_with, Hop, TraversalScratch,
 };
 
 #[cfg(test)]
@@ -80,12 +81,12 @@ mod proptests {
             let na = NodeId::new(doc.id, a % n);
             let nb = NodeId::new(doc.id, b % n);
             let limit = doc.len();
-            let d_ab = shortest_distance(&g, &c, na, nb, limit);
-            let d_ba = shortest_distance(&g, &c, nb, na, limit);
+            let d_ab = shortest_distance(&g, na, nb, limit);
+            let d_ba = shortest_distance(&g, nb, na, limit);
             prop_assert!(d_ab.is_some());
             prop_assert_eq!(d_ab, d_ba);
-            prop_assert!(is_connected(&g, &c, &[na, nb], limit));
-            prop_assert!(compactness(&g, &c, &[na, nb], limit) > 0.0);
+            prop_assert!(is_connected(&g, &[na, nb], limit));
+            prop_assert!(compactness(&g, &[na, nb], limit) > 0.0);
         }
 
         /// The connecting-tree size of a pair equals the pair's shortest-path
@@ -100,10 +101,10 @@ mod proptests {
             let na = NodeId::new(doc.id, a % n);
             let nb = NodeId::new(doc.id, b % n);
             let nc = NodeId::new(doc.id, extra % n);
-            let pair = connecting_tree_size(&g, &c, &[na, nb], limit).unwrap();
-            let dist = shortest_distance(&g, &c, na, nb, limit).unwrap();
+            let pair = connecting_tree_size(&g, &[na, nb], limit).unwrap();
+            let dist = shortest_distance(&g, na, nb, limit).unwrap();
             prop_assert_eq!(pair, dist);
-            let triple = connecting_tree_size(&g, &c, &[na, nb, nc], limit).unwrap();
+            let triple = connecting_tree_size(&g, &[na, nb, nc], limit).unwrap();
             prop_assert!(triple >= pair);
         }
     }

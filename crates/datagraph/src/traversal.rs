@@ -8,10 +8,15 @@
 //! subtree (a Steiner tree) is NP-hard in general, so — like every practical
 //! system — we approximate it with a minimum spanning tree over the pairwise
 //! shortest-path distances of the tuple's nodes.
+//!
+//! Every function exists in two flavours: a convenience form that allocates a
+//! fresh [`TraversalScratch`] internally, and a `*_with` form that reuses a
+//! caller-owned scratch.  The scratch holds **epoch-stamped** visited/distance
+//! arrays indexed by the graph's dense node indices, so a BFS touches no hash
+//! map and resets in O(1) between runs — this is what makes the per-candidate
+//! connectivity checks of the top-k search cheap enough for interactive use.
 
-use std::collections::{HashMap, VecDeque};
-
-use seda_xmlstore::{Collection, NodeId};
+use seda_xmlstore::NodeId;
 
 use crate::graph::{DataGraph, EdgeKind};
 
@@ -24,49 +29,113 @@ pub struct Hop {
     pub kind: EdgeKind,
 }
 
-/// Result of a bounded breadth-first search from one node.
-#[derive(Debug, Clone)]
-pub struct BfsResult {
-    /// Distance (number of edges) from the source to each reached node.
-    pub distances: HashMap<NodeId, usize>,
-    /// Predecessor of each reached node (for path reconstruction).
-    pub predecessors: HashMap<NodeId, Hop>,
+const UNSET: u32 = u32::MAX;
+
+/// Reusable BFS state: epoch-stamped visited/distance/predecessor arrays over
+/// the graph's dense node indices, plus the work queue and the small
+/// spanning-tree buffers of the compactness computation.
+///
+/// One scratch serves any number of traversals over graphs of any size (the
+/// arrays grow on demand); reuse it across queries to keep the read path
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct TraversalScratch {
+    /// Current epoch; a slot is visited iff `stamp[i] == epoch`.
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    pred: Vec<(u32, EdgeKind)>,
+    queue: Vec<u32>,
+    /// Pairwise-distance matrix of the compactness computation (row-major,
+    /// `UNSET` for unreachable), reused across tuples.
+    matrix: Vec<u32>,
+    in_tree: Vec<bool>,
+    best: Vec<u32>,
+    /// Total nodes visited by BFS runs through this scratch (monotonic; the
+    /// query profile reports deltas).
+    pub bfs_visits: u64,
 }
 
-/// Breadth-first search from `source`, following tree and non-tree edges,
-/// bounded by `max_depth` hops.
-pub fn bfs(
-    graph: &DataGraph,
-    collection: &Collection,
-    source: NodeId,
-    max_depth: usize,
-) -> BfsResult {
-    let mut distances = HashMap::new();
-    let mut predecessors = HashMap::new();
-    let mut queue = VecDeque::new();
-    distances.insert(source, 0usize);
-    queue.push_back(source);
-    while let Some(current) = queue.pop_front() {
-        let depth = distances[&current];
-        if depth >= max_depth {
+impl TraversalScratch {
+    /// Creates an empty scratch; arrays are sized on first use.
+    pub fn new() -> Self {
+        TraversalScratch::default()
+    }
+
+    /// Starts a new traversal epoch, growing the arrays to `nodes` slots.
+    fn begin(&mut self, nodes: usize) {
+        if self.stamp.len() < nodes {
+            self.stamp.resize(nodes, 0);
+            self.dist.resize(nodes, 0);
+            self.pred.resize(nodes, (0, EdgeKind::ParentChild));
+        }
+        // Epoch 0 means "never stamped"; on wrap-around every stamp is
+        // cleared so stale marks cannot alias the new epoch.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        self.queue.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, dense: u32, dist: u32) {
+        self.stamp[dense as usize] = self.epoch;
+        self.dist[dense as usize] = dist;
+        self.queue.push(dense);
+        self.bfs_visits += 1;
+    }
+
+    #[inline]
+    fn seen(&self, dense: u32) -> bool {
+        self.stamp[dense as usize] == self.epoch
+    }
+
+    /// Distance of a dense node in the last BFS, or `None` if unreached.
+    fn distance(&self, dense: u32) -> Option<u32> {
+        self.seen(dense).then(|| self.dist[dense as usize])
+    }
+}
+
+/// Breadth-first search from `source` over tree and non-tree edges, bounded
+/// by `max_depth` hops.  On return the scratch holds the distances and
+/// predecessors of every reached node (valid until the next traversal).
+fn bfs_with(graph: &DataGraph, scratch: &mut TraversalScratch, source: u32, max_depth: usize) {
+    scratch.begin(graph.node_count());
+    scratch.visit(source, 0);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let current = scratch.queue[head];
+        head += 1;
+        let depth = scratch.dist[current as usize];
+        if depth as usize >= max_depth {
             continue;
         }
-        for (next, kind) in graph.neighbors(collection, current) {
-            if let std::collections::hash_map::Entry::Vacant(e) = distances.entry(next) {
-                e.insert(depth + 1);
-                predecessors.insert(next, Hop { node: current, kind });
-                queue.push_back(next);
+        for &(next, kind) in graph.neighbors_dense(current) {
+            if !scratch.seen(next) {
+                scratch.visit(next, depth + 1);
+                scratch.pred[next as usize] = (current, kind);
             }
         }
     }
-    BfsResult { distances, predecessors }
 }
 
 /// Shortest-path distance between two nodes (number of edges), bounded by
 /// `max_depth`; `None` when no path exists within the bound.
 pub fn shortest_distance(
     graph: &DataGraph,
-    collection: &Collection,
+    a: NodeId,
+    b: NodeId,
+    max_depth: usize,
+) -> Option<usize> {
+    shortest_distance_with(graph, &mut TraversalScratch::new(), a, b, max_depth)
+}
+
+/// [`shortest_distance`] reusing a caller-owned scratch.
+pub fn shortest_distance_with(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
     a: NodeId,
     b: NodeId,
     max_depth: usize,
@@ -74,15 +143,27 @@ pub fn shortest_distance(
     if a == b {
         return Some(0);
     }
-    let result = bfs(graph, collection, a, max_depth);
-    result.distances.get(&b).copied()
+    let (da, db) = (graph.dense(a)?, graph.dense(b)?);
+    bfs_with(graph, scratch, da, max_depth);
+    scratch.distance(db).map(|d| d as usize)
 }
 
 /// Shortest path between two nodes as the sequence of intermediate hops
 /// (excluding `a`, including `b`), bounded by `max_depth`.
 pub fn shortest_path(
     graph: &DataGraph,
-    collection: &Collection,
+    a: NodeId,
+    b: NodeId,
+    max_depth: usize,
+) -> Option<Vec<Hop>> {
+    shortest_path_with(graph, &mut TraversalScratch::new(), a, b, max_depth)
+}
+
+/// [`shortest_path`] reusing a caller-owned scratch.  The returned hop vector
+/// is freshly allocated (it escapes the scratch's lifetime).
+pub fn shortest_path_with(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
     a: NodeId,
     b: NodeId,
     max_depth: usize,
@@ -90,14 +171,15 @@ pub fn shortest_path(
     if a == b {
         return Some(Vec::new());
     }
-    let result = bfs(graph, collection, a, max_depth);
-    result.distances.get(&b)?;
+    let (da, db) = (graph.dense(a)?, graph.dense(b)?);
+    bfs_with(graph, scratch, da, max_depth);
+    scratch.distance(db)?;
     let mut path = Vec::new();
-    let mut current = b;
-    while current != a {
-        let hop = result.predecessors.get(&current)?;
-        path.push(Hop { node: current, kind: hop.kind });
-        current = hop.node;
+    let mut current = db;
+    while current != da {
+        let (prev, kind) = scratch.pred[current as usize];
+        path.push(Hop { node: graph.node_id(current), kind });
+        current = prev;
     }
     path.reverse();
     Some(path)
@@ -107,26 +189,59 @@ pub fn shortest_path(
 /// `None` when nodes `i` and `j` are not connected within `max_depth`.
 pub fn pairwise_distances(
     graph: &DataGraph,
-    collection: &Collection,
     nodes: &[NodeId],
     max_depth: usize,
 ) -> Vec<Vec<Option<usize>>> {
-    let mut matrix = vec![vec![None; nodes.len()]; nodes.len()];
+    let mut scratch = TraversalScratch::new();
+    let n = nodes.len();
+    fill_distance_matrix(graph, &mut scratch, nodes, max_depth);
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    let d = scratch.matrix[i * n + j];
+                    (d != UNSET).then_some(d as usize)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fills `scratch.matrix` (row-major, `UNSET` = unreachable) with the
+/// pairwise bounded shortest-path distances of `nodes`.
+fn fill_distance_matrix(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
+    nodes: &[NodeId],
+    max_depth: usize,
+) {
+    let n = nodes.len();
+    scratch.matrix.clear();
+    scratch.matrix.resize(n * n, UNSET);
     for (i, &a) in nodes.iter().enumerate() {
-        let result = bfs(graph, collection, a, max_depth);
+        let Some(da) = graph.dense(a) else { continue };
+        bfs_with(graph, scratch, da, max_depth);
         for (j, &b) in nodes.iter().enumerate() {
-            matrix[i][j] = result.distances.get(&b).copied();
+            if let Some(db) = graph.dense(b) {
+                if let Some(d) = scratch.distance(db) {
+                    scratch.matrix[i * n + j] = d;
+                }
+            }
         }
     }
-    matrix
 }
 
 /// True when the tuple of nodes is connected in the data graph (every pair is
 /// mutually reachable within `max_depth` hops).  This is the witness
 /// requirement of Definition 4.
-pub fn is_connected(
+pub fn is_connected(graph: &DataGraph, nodes: &[NodeId], max_depth: usize) -> bool {
+    is_connected_with(graph, &mut TraversalScratch::new(), nodes, max_depth)
+}
+
+/// [`is_connected`] reusing a caller-owned scratch.
+pub fn is_connected_with(
     graph: &DataGraph,
-    collection: &Collection,
+    scratch: &mut TraversalScratch,
     nodes: &[NodeId],
     max_depth: usize,
 ) -> bool {
@@ -135,8 +250,9 @@ pub fn is_connected(
     }
     // Reachability from the first node suffices (the graph is undirected for
     // traversal purposes).
-    let result = bfs(graph, collection, nodes[0], max_depth);
-    nodes.iter().all(|n| result.distances.contains_key(n))
+    let Some(first) = graph.dense(nodes[0]) else { return false };
+    bfs_with(graph, scratch, first, max_depth);
+    nodes.iter().all(|&n| graph.dense(n).map(|d| scratch.seen(d)).unwrap_or(false))
 }
 
 /// Size (total edge count) of an approximate minimal connecting subtree of the
@@ -144,40 +260,48 @@ pub fn is_connected(
 /// `None` when the tuple is not connected within `max_depth`.
 pub fn connecting_tree_size(
     graph: &DataGraph,
-    collection: &Collection,
     nodes: &[NodeId],
     max_depth: usize,
 ) -> Option<usize> {
-    match nodes.len() {
-        0 => return Some(0),
-        1 => return Some(0),
-        _ => {}
-    }
-    let distances = pairwise_distances(graph, collection, nodes, max_depth);
-    // Prim's algorithm over the complete terminal graph.
+    connecting_tree_size_with(graph, &mut TraversalScratch::new(), nodes, max_depth)
+}
+
+/// [`connecting_tree_size`] reusing a caller-owned scratch.
+pub fn connecting_tree_size_with(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
+    nodes: &[NodeId],
+    max_depth: usize,
+) -> Option<usize> {
     let n = nodes.len();
-    let mut in_tree = vec![false; n];
-    let mut best = vec![usize::MAX; n];
-    best[0] = 0;
+    if n <= 1 {
+        return Some(0);
+    }
+    fill_distance_matrix(graph, scratch, nodes, max_depth);
+    // Prim's algorithm over the complete terminal graph.
+    scratch.in_tree.clear();
+    scratch.in_tree.resize(n, false);
+    scratch.best.clear();
+    scratch.best.resize(n, UNSET);
+    scratch.best[0] = 0;
     let mut total = 0usize;
     for _ in 0..n {
         let next = (0..n)
-            .filter(|&i| !in_tree[i])
-            .min_by_key(|&i| best[i])
+            .filter(|&i| !scratch.in_tree[i])
+            .min_by_key(|&i| scratch.best[i])
             .expect("at least one node outside the tree");
-        if best[next] == usize::MAX {
+        if scratch.best[next] == UNSET {
             return None; // disconnected
         }
-        in_tree[next] = true;
-        total += best[next];
+        scratch.in_tree[next] = true;
+        total += scratch.best[next] as usize;
         for other in 0..n {
-            if in_tree[other] {
+            if scratch.in_tree[other] {
                 continue;
             }
-            if let Some(d) = distances[next][other] {
-                if d < best[other] {
-                    best[other] = d;
-                }
+            let d = scratch.matrix[next * n + other];
+            if d < scratch.best[other] {
+                scratch.best[other] = d;
             }
         }
     }
@@ -187,13 +311,18 @@ pub fn connecting_tree_size(
 /// The compactness score of a tuple: `1 / (1 + size of the approximate
 /// connecting subtree)`.  Tuples that are not connected within `max_depth`
 /// score 0 and should be discarded by callers.
-pub fn compactness(
+pub fn compactness(graph: &DataGraph, nodes: &[NodeId], max_depth: usize) -> f64 {
+    compactness_with(graph, &mut TraversalScratch::new(), nodes, max_depth)
+}
+
+/// [`compactness`] reusing a caller-owned scratch.
+pub fn compactness_with(
     graph: &DataGraph,
-    collection: &Collection,
+    scratch: &mut TraversalScratch,
     nodes: &[NodeId],
     max_depth: usize,
 ) -> f64 {
-    match connecting_tree_size(graph, collection, nodes, max_depth) {
+    match connecting_tree_size_with(graph, scratch, nodes, max_depth) {
         Some(size) => 1.0 / (1.0 + size as f64),
         None => 0.0,
     }
@@ -203,7 +332,7 @@ pub fn compactness(
 mod tests {
     use super::*;
     use crate::config::GraphConfig;
-    use seda_xmlstore::{parse_collection, DocId};
+    use seda_xmlstore::{parse_collection, Collection, DocId};
 
     fn setup() -> (Collection, DataGraph) {
         let c = parse_collection(vec![
@@ -241,10 +370,10 @@ mod tests {
         let (c, g) = setup();
         let china = find(&c, "/country/economy/import_partners/item/trade_country", "China");
         let pct15 = find(&c, "/country/economy/import_partners/item/percentage", "15");
-        assert_eq!(shortest_distance(&g, &c, china, pct15, 10), Some(2));
+        assert_eq!(shortest_distance(&g, china, pct15, 10), Some(2));
         // China and the *other* item's percentage are four hops apart.
         let pct169 = find(&c, "/country/economy/import_partners/item/percentage", "16.9");
-        assert_eq!(shortest_distance(&g, &c, china, pct169, 10), Some(4));
+        assert_eq!(shortest_distance(&g, china, pct169, 10), Some(4));
     }
 
     #[test]
@@ -253,9 +382,9 @@ mod tests {
         let us_name = find(&c, "/country/name", "United States");
         let sea_name = find(&c, "/sea/name", "Pacific Ocean");
         // name -> country -(IdRef via bordering)-> ... -> sea -> name
-        let d = shortest_distance(&g, &c, us_name, sea_name, 10).unwrap();
+        let d = shortest_distance(&g, us_name, sea_name, 10).unwrap();
         assert_eq!(d, 4);
-        let path = shortest_path(&g, &c, us_name, sea_name, 10).unwrap();
+        let path = shortest_path(&g, us_name, sea_name, 10).unwrap();
         assert_eq!(path.len(), d);
         assert!(path.iter().any(|h| h.kind == EdgeKind::IdRef));
     }
@@ -265,9 +394,9 @@ mod tests {
         let (c, g) = setup();
         let us_name = find(&c, "/country/name", "United States");
         let island = find(&c, "/island/name", "Lonely Island");
-        assert_eq!(shortest_distance(&g, &c, us_name, island, 12), None);
-        assert!(!is_connected(&g, &c, &[us_name, island], 12));
-        assert_eq!(compactness(&g, &c, &[us_name, island], 12), 0.0);
+        assert_eq!(shortest_distance(&g, us_name, island, 12), None);
+        assert!(!is_connected(&g, &[us_name, island], 12));
+        assert_eq!(compactness(&g, &[us_name, island], 12), 0.0);
     }
 
     #[test]
@@ -275,8 +404,8 @@ mod tests {
         let (c, g) = setup();
         let us_name = find(&c, "/country/name", "United States");
         let sea_name = find(&c, "/sea/name", "Pacific Ocean");
-        assert_eq!(shortest_distance(&g, &c, us_name, sea_name, 2), None);
-        assert_eq!(shortest_distance(&g, &c, us_name, sea_name, 4), Some(4));
+        assert_eq!(shortest_distance(&g, us_name, sea_name, 2), None);
+        assert_eq!(shortest_distance(&g, us_name, sea_name, 4), Some(4));
     }
 
     #[test]
@@ -287,11 +416,11 @@ mod tests {
         let pct169 = find(&c, "/country/economy/import_partners/item/percentage", "16.9");
         let us_name = find(&c, "/country/name", "United States");
 
-        assert!(is_connected(&g, &c, &[us_name, china, pct15], 10));
+        assert!(is_connected(&g, &[us_name, china, pct15], 10));
         // The tighter tuple (China with its own percentage sibling) is more
         // compact than the mismatched tuple (China with Canada's percentage).
-        let tight = compactness(&g, &c, &[us_name, china, pct15], 10);
-        let loose = compactness(&g, &c, &[us_name, china, pct169], 10);
+        let tight = compactness(&g, &[us_name, china, pct15], 10);
+        let loose = compactness(&g, &[us_name, china, pct169], 10);
         assert!(tight > loose, "tight={tight} loose={loose}");
     }
 
@@ -299,20 +428,20 @@ mod tests {
     fn singleton_and_empty_tuples_are_trivially_connected() {
         let (c, g) = setup();
         let us_name = find(&c, "/country/name", "United States");
-        assert!(is_connected(&g, &c, &[us_name], 1));
-        assert!(is_connected(&g, &c, &[], 1));
-        assert_eq!(connecting_tree_size(&g, &c, &[us_name], 1), Some(0));
-        assert_eq!(connecting_tree_size(&g, &c, &[], 1), Some(0));
-        assert_eq!(compactness(&g, &c, &[us_name], 1), 1.0);
+        assert!(is_connected(&g, &[us_name], 1));
+        assert!(is_connected(&g, &[], 1));
+        assert_eq!(connecting_tree_size(&g, &[us_name], 1), Some(0));
+        assert_eq!(connecting_tree_size(&g, &[], 1), Some(0));
+        assert_eq!(compactness(&g, &[us_name], 1), 1.0);
     }
 
     #[test]
     fn shortest_path_endpoints_and_self_path() {
         let (c, g) = setup();
         let us_name = find(&c, "/country/name", "United States");
-        assert_eq!(shortest_path(&g, &c, us_name, us_name, 5), Some(vec![]));
+        assert_eq!(shortest_path(&g, us_name, us_name, 5), Some(vec![]));
         let root = NodeId::new(DocId(0), 0);
-        let p = shortest_path(&g, &c, us_name, root, 5).unwrap();
+        let p = shortest_path(&g, us_name, root, 5).unwrap();
         assert_eq!(p.last().unwrap().node, root);
     }
 
@@ -323,12 +452,76 @@ mod tests {
         let pct15 = find(&c, "/country/economy/import_partners/item/percentage", "15");
         let us_name = find(&c, "/country/name", "United States");
         let nodes = [us_name, china, pct15];
-        let m = pairwise_distances(&g, &c, &nodes, 10);
+        let m = pairwise_distances(&g, &nodes, 10);
         #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             assert_eq!(m[i][i], Some(0));
             for j in 0..3 {
                 assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_traversals() {
+        let (c, g) = setup();
+        let mut scratch = TraversalScratch::new();
+        let nodes: Vec<NodeId> = c.documents().flat_map(|d| d.node_ids()).collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(
+                    shortest_distance_with(&g, &mut scratch, a, b, 12),
+                    shortest_distance(&g, a, b, 12),
+                    "scratch reuse changed the distance of {a:?} -> {b:?}"
+                );
+            }
+        }
+        assert!(scratch.bfs_visits > 0, "reused scratch accounts its BFS visits");
+    }
+
+    /// Reference BFS over `HashMap`s (the pre-CSR implementation), used to pin
+    /// the CSR + epoch-stamped implementation.
+    fn reference_bfs_distances(
+        graph: &DataGraph,
+        source: NodeId,
+        max_depth: usize,
+    ) -> std::collections::HashMap<NodeId, usize> {
+        use std::collections::{HashMap, VecDeque};
+        let mut distances = HashMap::new();
+        let mut queue = VecDeque::new();
+        distances.insert(source, 0usize);
+        queue.push_back(source);
+        while let Some(current) = queue.pop_front() {
+            let depth = distances[&current];
+            if depth >= max_depth {
+                continue;
+            }
+            for (next, _) in graph.neighbors(current) {
+                if let std::collections::hash_map::Entry::Vacant(e) = distances.entry(next) {
+                    e.insert(depth + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        distances
+    }
+
+    #[test]
+    fn csr_bfs_matches_hashmap_reference() {
+        let (c, g) = setup();
+        let mut scratch = TraversalScratch::new();
+        for doc in c.documents() {
+            for source in doc.node_ids() {
+                for depth in [1usize, 3, 12] {
+                    let reference = reference_bfs_distances(&g, source, depth);
+                    for target in c.documents().flat_map(|d| d.node_ids()) {
+                        assert_eq!(
+                            shortest_distance_with(&g, &mut scratch, source, target, depth),
+                            reference.get(&target).copied(),
+                            "CSR BFS disagrees with reference for {source:?} -> {target:?} at depth {depth}"
+                        );
+                    }
+                }
             }
         }
     }

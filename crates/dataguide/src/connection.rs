@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use seda_datagraph::{shortest_path, DataGraph, EdgeKind};
+use seda_datagraph::{shortest_path_with, DataGraph, EdgeKind, TraversalScratch};
 use seda_xmlstore::{Collection, NodeId, PathId};
 
 use crate::guide::{DataGuideSet, GuideId};
@@ -80,6 +80,7 @@ pub fn discover_connections(
     max_depth: usize,
 ) -> Vec<Connection> {
     let mut aggregated: BTreeMap<Vec<PathId>, Connection> = BTreeMap::new();
+    let mut scratch = TraversalScratch::new();
     for tuple in tuples {
         for i in 0..tuple.len() {
             for j in (i + 1)..tuple.len() {
@@ -88,7 +89,7 @@ pub fn discover_connections(
                 if a == b {
                     continue;
                 }
-                let Some(hops) = shortest_path(graph, collection, a, b, max_depth) else {
+                let Some(hops) = shortest_path_with(graph, &mut scratch, a, b, max_depth) else {
                     continue;
                 };
                 let Ok(start_path) = collection.context(a) else { continue };

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod context_index;
+pub mod dict;
 pub mod node_index;
 pub mod query;
 pub mod tokenize;
 
 pub use context_index::{ContextIndex, ContextIndexShard, CountStorage, PathEntry};
+pub use dict::{TermDict, TermId};
 pub use node_index::{NodeIndex, NodeIndexShard, Posting, ScoredNode};
 pub use query::{FullTextQuery, QueryParseError};
 pub use tokenize::{terms, tokenize, Token};

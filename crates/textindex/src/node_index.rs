@@ -12,6 +12,19 @@
 //! deepest element or attribute), mirroring the paper's examples where
 //! `"United States"` hits `country` and `trade_country` nodes rather than
 //! every ancestor up to the document root.
+//!
+//! # Read model
+//!
+//! The build artifacts (`postings`, `node_tokens`, `node_paths`) are plain
+//! maps, but the query path never touches them directly.  At the end of
+//! [`NodeIndex::merge`] the index freezes an **interned read model**: terms
+//! are interned into a [`TermDict`], per-term posting lists are stored in one
+//! CSR arena **pre-sorted by descending content score** (idf folded in), and
+//! a dense node side table carries each indexed node's context path and token
+//! length for random access and path filtering.  [`NodeIndex::sorted_access`]
+//! therefore returns a borrowed slice — no per-query sort, no per-query
+//! allocation — and [`NodeIndex::evaluate_into`] scores into caller-owned
+//! buffers.
 
 use std::collections::HashMap;
 
@@ -19,6 +32,7 @@ use serde::{Deserialize, Serialize};
 
 use seda_xmlstore::{Collection, DocId, Document, NodeId, PathId};
 
+use crate::dict::{TermDict, TermId};
 use crate::query::FullTextQuery;
 use crate::tokenize::{terms, tokenize};
 
@@ -34,7 +48,7 @@ pub struct Posting {
 }
 
 /// A node matched by a query, with its content score.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScoredNode {
     /// The matching node.
     pub node: NodeId,
@@ -52,6 +66,24 @@ pub struct NodeIndex {
     /// Context path of every indexed node (context filtering).
     node_paths: HashMap<NodeId, PathId>,
     indexed_nodes: usize,
+
+    // ---- interned read model, frozen by `rebuild_read_model` ----
+    /// Term intern table; ids are lexicographic ranks, so deterministic.
+    dict: TermDict,
+    /// Smoothed idf per term id.
+    idf_by_term: Vec<f64>,
+    /// CSR offsets into `sorted_postings`, length `dict.len() + 1`.
+    posting_offsets: Vec<u32>,
+    /// Per-term postings pre-sorted by (score desc, node asc), idf folded in.
+    sorted_postings: Vec<ScoredNode>,
+    /// Dense slot of every indexed node (slots in ascending `NodeId` order).
+    node_slots: HashMap<NodeId, u32>,
+    /// Slot → node id.
+    slot_nodes: Vec<NodeId>,
+    /// Slot → context path (side table for path filtering).
+    slot_paths: Vec<PathId>,
+    /// Slot → token count (side table for length normalisation).
+    slot_token_counts: Vec<u32>,
 }
 
 /// Partial node index over a single document, produced by
@@ -124,7 +156,7 @@ impl NodeIndex {
     }
 
     /// Merges per-document shards into the full index (the merge phase of the
-    /// shard → merge build lifecycle).
+    /// shard → merge build lifecycle) and freezes the interned read model.
     ///
     /// Shards are merged in ascending document order regardless of the order
     /// they are passed in, so the result is deterministic and identical to
@@ -145,7 +177,50 @@ impl NodeIndex {
         for postings in index.postings.values_mut() {
             postings.sort_by_key(|p| p.node);
         }
+        index.rebuild_read_model();
         index
+    }
+
+    /// Freezes the interned read model from the merged build artifacts: the
+    /// term dictionary, idf table, score-sorted posting arena and the node
+    /// side table.
+    fn rebuild_read_model(&mut self) {
+        let mut terms: Vec<&str> = self.postings.keys().map(String::as_str).collect();
+        terms.sort_unstable();
+        self.dict = TermDict::from_sorted(terms.into_iter());
+
+        let mut nodes: Vec<NodeId> = self.node_tokens.keys().copied().collect();
+        nodes.sort_unstable();
+        self.node_slots = nodes.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+        self.slot_paths = nodes.iter().map(|n| self.node_paths[n]).collect();
+        self.slot_token_counts = nodes.iter().map(|n| self.node_tokens[n].len() as u32).collect();
+        self.slot_nodes = nodes;
+
+        self.idf_by_term = Vec::with_capacity(self.dict.len());
+        self.posting_offsets = Vec::with_capacity(self.dict.len() + 1);
+        self.posting_offsets.push(0);
+        self.sorted_postings.clear();
+        // Collecting term ids first keeps the borrow checker happy while we
+        // push into the posting arena below.
+        for id in 0..self.dict.len() as u32 {
+            let term = self.dict.resolve(TermId(id)).to_string();
+            let idf = self.idf(&term);
+            self.idf_by_term.push(idf);
+            let start = self.sorted_postings.len();
+            for posting in &self.postings[&term] {
+                let len =
+                    (self.node_tokens.get(&posting.node).map(Vec::len).unwrap_or(1).max(1)) as f64;
+                let score = (posting.tf as f64) * idf / len.sqrt();
+                self.sorted_postings.push(ScoredNode { node: posting.node, score });
+            }
+            self.sorted_postings[start..].sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.node.cmp(&b.node))
+            });
+            self.posting_offsets.push(self.sorted_postings.len() as u32);
+        }
     }
 
     /// Number of nodes with indexed content.
@@ -156,6 +231,11 @@ impl NodeIndex {
     /// Number of distinct terms in the index.
     pub fn term_count(&self) -> usize {
         self.postings.len()
+    }
+
+    /// The interned term dictionary of the read model.
+    pub fn term_dict(&self) -> &TermDict {
+        &self.dict
     }
 
     /// Document frequency of a term (number of nodes containing it).
@@ -174,6 +254,14 @@ impl NodeIndex {
         self.node_paths.get(&node).copied()
     }
 
+    /// The read-model side table entry of an indexed node: its context path
+    /// and token count (the inputs of path filtering and length
+    /// normalisation), or `None` for nodes without indexed content.
+    pub fn node_entry(&self, node: NodeId) -> Option<(PathId, u32)> {
+        let slot = *self.node_slots.get(&node)? as usize;
+        Some((self.slot_paths[slot], self.slot_token_counts[slot]))
+    }
+
     /// The tokenised direct text of an indexed node.
     pub fn node_tokens(&self, node: NodeId) -> Option<&[String]> {
         self.node_tokens.get(&node).map(Vec::as_slice)
@@ -182,7 +270,17 @@ impl NodeIndex {
     /// tf-idf content score of a single term for a node, length-normalised.
     fn term_score(&self, term: &str, node: NodeId, tf: u32) -> f64 {
         let len = self.node_tokens.get(&node).map(Vec::len).unwrap_or(1).max(1) as f64;
-        (tf as f64) * self.idf(term) / len.sqrt()
+        (tf as f64) * self.interned_idf(term) / len.sqrt()
+    }
+
+    /// idf via the precomputed per-term table, falling back to the formula
+    /// for terms outside the dictionary (df = 0, so the value only matters
+    /// for the smoothing constant).
+    fn interned_idf(&self, term: &str) -> f64 {
+        match self.dict.get(term) {
+            Some(id) => self.idf_by_term[id.index()],
+            None => self.idf(term),
+        }
     }
 
     /// Content score of `query` for `node`, or `None` when the node does not
@@ -218,74 +316,100 @@ impl NodeIndex {
     /// All nodes satisfying the query, scored, in descending score order
     /// (ties broken by node id for determinism).
     pub fn evaluate(&self, query: &FullTextQuery) -> Vec<ScoredNode> {
-        self.evaluate_filtered(query, |_| true)
+        let mut out = Vec::new();
+        self.evaluate_into(query, None, &mut Vec::new(), &mut out);
+        out
     }
 
     /// Like [`NodeIndex::evaluate`] but restricted to nodes whose context path
     /// satisfies `allowed` (used after the user picks contexts in the context
     /// summary).
     pub fn evaluate_in_paths(&self, query: &FullTextQuery, allowed: &[PathId]) -> Vec<ScoredNode> {
-        self.evaluate_filtered(query, |path| allowed.contains(&path))
+        let mut out = Vec::new();
+        self.evaluate_into(query, Some(allowed), &mut Vec::new(), &mut out);
+        out
     }
 
-    fn evaluate_filtered<F>(&self, query: &FullTextQuery, mut path_ok: F) -> Vec<ScoredNode>
-    where
-        F: FnMut(PathId) -> bool,
-    {
-        let candidates: Vec<NodeId> = if query.is_match_all() || query.positive_terms().is_empty() {
-            // Match-all or pure-negation queries must consider every indexed
-            // node.
-            let mut nodes: Vec<NodeId> = self.node_tokens.keys().copied().collect();
-            nodes.sort();
-            nodes
-        } else {
-            let mut nodes: Vec<NodeId> = query
-                .positive_terms()
-                .iter()
-                .filter_map(|t| self.postings.get(t))
-                .flat_map(|ps| ps.iter().map(|p| p.node))
-                .collect();
-            nodes.sort();
-            nodes.dedup();
-            nodes
+    /// Evaluates `query` into caller-owned buffers (the allocation-free form
+    /// backing [`NodeIndex::evaluate`]): `out` receives the scored matches in
+    /// descending score order (ties broken by node id), `candidates` is an
+    /// internal scratch buffer.  Both are cleared first; reusing them across
+    /// queries keeps the read path free of per-query allocations.
+    pub fn evaluate_into(
+        &self,
+        query: &FullTextQuery,
+        allowed: Option<&[PathId]>,
+        candidates: &mut Vec<NodeId>,
+        out: &mut Vec<ScoredNode>,
+    ) {
+        out.clear();
+        candidates.clear();
+        let path_ok = |slot: usize| match allowed {
+            Some(paths) => paths.contains(&self.slot_paths[slot]),
+            None => true,
         };
 
-        let mut scored: Vec<ScoredNode> = candidates
-            .into_iter()
-            .filter(|node| self.node_paths.get(node).map(|&p| path_ok(p)).unwrap_or(false))
-            .filter_map(|node| {
-                let tokens = self.node_tokens.get(&node)?;
-                if query.matches_tokens(tokens) {
-                    Some(ScoredNode { node, score: self.score_unchecked(query, node, tokens) })
-                } else {
-                    None
+        // Fast path: a single-term keyword (or single-token phrase) query is
+        // exactly one pre-sorted posting list — copy the borrowed slice out,
+        // filtered by path, with no re-scoring and no sort.
+        if let Some(term) = query.single_positive_term() {
+            let Some(id) = self.dict.get(term) else { return };
+            for scored in self.sorted_access_by_id(id) {
+                let slot = self.node_slots[&scored.node] as usize;
+                if path_ok(slot) {
+                    out.push(*scored);
                 }
-            })
-            .collect();
-        scored.sort_by(|a, b| {
+            }
+            return;
+        }
+
+        if query.is_match_all() || query.positive_terms().is_empty() {
+            // Match-all or pure-negation queries must consider every indexed
+            // node; slots are already in ascending node order.
+            candidates.extend(self.slot_nodes.iter().copied());
+        } else {
+            for term in query.positive_terms() {
+                if let Some(id) = self.dict.get(&term) {
+                    candidates.extend(self.sorted_access_by_id(id).iter().map(|s| s.node));
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+        }
+
+        for &node in candidates.iter() {
+            let slot = self.node_slots[&node] as usize;
+            if !path_ok(slot) {
+                continue;
+            }
+            let tokens = &self.node_tokens[&node];
+            if query.matches_tokens(tokens) {
+                out.push(ScoredNode { node, score: self.score_unchecked(query, node, tokens) });
+            }
+        }
+        out.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.node.cmp(&b.node))
         });
-        scored
     }
 
     /// Per-term sorted access for the Threshold Algorithm: postings of `term`
-    /// ordered by descending single-term score.
-    pub fn sorted_access(&self, term: &str) -> Vec<ScoredNode> {
-        let Some(postings) = self.postings.get(term) else { return Vec::new() };
-        let mut scored: Vec<ScoredNode> = postings
-            .iter()
-            .map(|p| ScoredNode { node: p.node, score: self.term_score(term, p.node, p.tf) })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.node.cmp(&b.node))
-        });
-        scored
+    /// ordered by descending single-term score, as a borrowed slice of the
+    /// pre-sorted posting arena (no per-query work).
+    pub fn sorted_access(&self, term: &str) -> &[ScoredNode] {
+        match self.dict.get(term) {
+            Some(id) => self.sorted_access_by_id(id),
+            None => &[],
+        }
+    }
+
+    /// [`NodeIndex::sorted_access`] by interned term id.
+    pub fn sorted_access_by_id(&self, id: TermId) -> &[ScoredNode] {
+        let i = id.index();
+        &self.sorted_postings
+            [self.posting_offsets[i] as usize..self.posting_offsets[i + 1] as usize]
     }
 
     /// Convenience wrapper: evaluate a keyword string.
@@ -384,6 +508,71 @@ mod tests {
     }
 
     #[test]
+    fn sorted_access_scores_match_term_scores() {
+        let (_, index) = sample();
+        for (id, term) in index.term_dict().terms() {
+            let by_name = index.sorted_access(term);
+            let by_id = index.sorted_access_by_id(id);
+            assert_eq!(by_name, by_id);
+            assert!(!by_name.is_empty(), "every interned term has postings");
+            for w in by_name.windows(2) {
+                assert!(
+                    w[0].score > w[1].score || (w[0].score == w[1].score && w[0].node < w[1].node),
+                    "postings of {term:?} must be sorted by (score desc, node asc)"
+                );
+            }
+            // Precomputed scores agree with the on-demand scoring formula.
+            for scored in by_name {
+                let query = FullTextQuery::Keywords(vec![term.to_string()]);
+                let direct = index.score(&query, scored.node).unwrap();
+                assert!((direct - scored.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_round_trips_through_the_index() {
+        let (_, index) = sample();
+        assert_eq!(index.term_dict().len(), index.term_count());
+        for (id, term) in index.term_dict().terms() {
+            assert_eq!(index.term_dict().get(term), Some(id));
+            assert_eq!(index.term_dict().resolve(id), term);
+        }
+        assert!(index.term_dict().get("zzz-not-a-term").is_none());
+    }
+
+    #[test]
+    fn node_side_table_reports_paths_and_lengths() {
+        let (collection, index) = sample();
+        let hits = index.search("china");
+        assert_eq!(hits.len(), 1);
+        let (path, len) = index.node_entry(hits[0].node).unwrap();
+        assert_eq!(
+            collection.path_string(path),
+            "/country/economy/import_partners/item/trade_country"
+        );
+        assert_eq!(len, 1, "\"China\" tokenises to one token");
+        assert_eq!(index.node_path(hits[0].node), Some(path));
+        assert!(index.node_entry(NodeId::new(DocId(9), 9)).is_none());
+    }
+
+    #[test]
+    fn evaluate_into_reuses_buffers() {
+        let (_, index) = sample();
+        let mut candidates = Vec::new();
+        let mut out = Vec::new();
+        for query in [
+            FullTextQuery::phrase("united states"),
+            FullTextQuery::keywords("china"),
+            FullTextQuery::Any,
+            FullTextQuery::parse("china OR canada").unwrap(),
+        ] {
+            index.evaluate_into(&query, None, &mut candidates, &mut out);
+            assert_eq!(out, index.evaluate(&query), "buffered evaluate diverged for {query:?}");
+        }
+    }
+
+    #[test]
     fn match_all_returns_every_indexed_node() {
         let (_, index) = sample();
         let all = index.evaluate(&FullTextQuery::Any);
@@ -396,6 +585,17 @@ mod tests {
         let name_path = collection.paths().get_str(collection.symbols(), "/country/name").unwrap();
         let results =
             index.evaluate_in_paths(&FullTextQuery::phrase("united states"), &[name_path]);
+        assert_eq!(results.len(), 1);
+        assert_eq!(collection.context_string(results[0].node).unwrap(), "/country/name");
+    }
+
+    #[test]
+    fn single_term_path_filtering_uses_the_fast_path() {
+        let (collection, index) = sample();
+        let name_path = collection.paths().get_str(collection.symbols(), "/country/name").unwrap();
+        // Single-keyword queries take the borrowed fast path; path filtering
+        // must still apply.
+        let results = index.evaluate_in_paths(&FullTextQuery::keywords("united"), &[name_path]);
         assert_eq!(results.len(), 1);
         assert_eq!(collection.context_string(results[0].node).unwrap(), "/country/name");
     }
@@ -445,6 +645,8 @@ mod tests {
         let merged = NodeIndex::merge(Vec::new());
         assert_eq!(merged.indexed_node_count(), 0);
         assert_eq!(merged.term_count(), 0);
+        assert!(merged.term_dict().is_empty());
+        assert!(merged.evaluate(&FullTextQuery::Any).is_empty());
     }
 
     #[test]

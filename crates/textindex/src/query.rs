@@ -64,6 +64,19 @@ impl FullTextQuery {
         }
     }
 
+    /// The query's single positive term, when the whole query is exactly one
+    /// keyword (or a one-token phrase, which is equivalent).  Such queries
+    /// are satisfied by precisely the nodes on the term's posting list, so
+    /// the index can answer them from the pre-sorted postings alone.
+    pub fn single_positive_term(&self) -> Option<&str> {
+        match self {
+            FullTextQuery::Keywords(ts) | FullTextQuery::Phrase(ts) if ts.len() == 1 => {
+                Some(&ts[0])
+            }
+            _ => None,
+        }
+    }
+
     /// True for queries that match every node with content (`*` or an empty
     /// keyword list).
     pub fn is_match_all(&self) -> bool {

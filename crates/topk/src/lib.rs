@@ -31,7 +31,7 @@
 pub mod searcher;
 pub mod types;
 
-pub use searcher::TopKSearcher;
+pub use searcher::{SearchScratch, TopKSearcher};
 pub use types::{ResultTuple, SearchStats, TermInput, TopKConfig, TopKResult};
 
 #[cfg(test)]

@@ -19,64 +19,57 @@
 //!   bonus, and stops as soon as `k` buffered tuples score at least the
 //!   threshold — the early-termination property the paper relies on for
 //!   interactive response times.
+//!
+//! # Allocation discipline
+//!
+//! The join loop performs no per-candidate allocation: candidate tuples live
+//! in two flat ping-pong arenas (`m`-strided `NodeId` runs plus a parallel
+//! score array), connectivity checks run through a reusable
+//! [`TraversalScratch`] with epoch-stamped visited arrays, and document-
+//! component pruning reads the components cached on the [`DataGraph`] at
+//! build time.  Callers that issue many queries should hold a
+//! [`SearchScratch`] and use [`TopKSearcher::search_with`] /
+//! [`TopKSearcher::search_naive_with`] so even the posting-list buffers are
+//! reused across queries.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use seda_datagraph::{compactness, DataGraph};
+use seda_datagraph::{compactness_with, DataGraph, TraversalScratch};
 use seda_textindex::{NodeIndex, ScoredNode};
-use seda_xmlstore::{Collection, DocId, NodeId};
+use seda_xmlstore::{Collection, NodeId};
 
 use crate::types::{ResultTuple, SearchStats, TermInput, TopKConfig, TopKResult};
 
-/// Union-find over documents connected by non-tree edges.  A result tuple can
-/// only be connected (Definition 4) if all of its nodes live in documents of
-/// the same component, so both searchers prune combinations across components
-/// before paying for a breadth-first connectivity check.
-struct DocComponents {
-    component: HashMap<DocId, u32>,
+/// Reusable buffers of the top-k search: posting lists, the flat candidate
+/// arenas of the join loop and the BFS scratch of the connectivity checks.
+///
+/// A scratch serves any number of searches over any engine; reuse it across
+/// queries to keep the read path allocation-free once the buffers have grown
+/// to their working size.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    traversal: TraversalScratch,
+    /// Per-term sorted-access lists (reused; only the first `m` are live).
+    lists: Vec<Vec<ScoredNode>>,
+    /// Candidate buffer handed to [`NodeIndex::evaluate_into`].
+    eval_candidates: Vec<NodeId>,
+    /// Current combo arena: `stride`-sized `NodeId` runs.
+    combo_nodes: Vec<NodeId>,
+    /// Content score per combo (parallel to `combo_nodes` runs).
+    combo_scores: Vec<f64>,
+    /// Next-stage combo arena (ping-pong partner).
+    next_nodes: Vec<NodeId>,
+    next_scores: Vec<f64>,
+    /// Scratch for the k-th best buffered score.
+    kth_scores: Vec<f64>,
+    positions: Vec<usize>,
+    best_scores: Vec<f64>,
 }
 
-impl DocComponents {
-    fn build(collection: &Collection, graph: &DataGraph) -> Self {
-        let mut parent: HashMap<DocId, DocId> =
-            collection.documents().map(|d| (d.id, d.id)).collect();
-        fn find(parent: &mut HashMap<DocId, DocId>, mut x: DocId) -> DocId {
-            while parent[&x] != x {
-                let grand = parent[&parent[&x]];
-                parent.insert(x, grand);
-                x = grand;
-            }
-            x
-        }
-        for edge in graph.edges() {
-            let a = find(&mut parent, edge.from.doc);
-            let b = find(&mut parent, edge.to.doc);
-            if a != b {
-                parent.insert(a, b);
-            }
-        }
-        let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
-        let mut component = HashMap::with_capacity(docs.len());
-        let mut ids: HashMap<DocId, u32> = HashMap::new();
-        let mut next = 0u32;
-        for doc in docs {
-            let root = find(&mut parent, doc);
-            let id = *ids.entry(root).or_insert_with(|| {
-                let id = next;
-                next += 1;
-                id
-            });
-            component.insert(doc, id);
-        }
-        DocComponents { component }
-    }
-
-    fn of(&self, doc: DocId) -> u32 {
-        self.component.get(&doc).copied().unwrap_or(u32::MAX)
-    }
-
-    fn same(&self, a: NodeId, b: NodeId) -> bool {
-        self.of(a.doc) == self.of(b.doc)
+impl SearchScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        SearchScratch::default()
     }
 }
 
@@ -112,65 +105,105 @@ impl Ord for HeapTuple {
     }
 }
 
+/// Scores one candidate tuple, returning `None` for disconnected tuples.
+fn score_tuple(
+    graph: &DataGraph,
+    traversal: &mut TraversalScratch,
+    nodes: &[NodeId],
+    content: f64,
+    config: &TopKConfig,
+    stats: &mut SearchStats,
+) -> Option<ResultTuple> {
+    stats.tuples_scored += 1;
+    let compact = compactness_with(graph, traversal, nodes, config.max_depth);
+    if compact == 0.0 && nodes.len() > 1 {
+        stats.tuples_disconnected += 1;
+        return None;
+    }
+    let score = config.content_weight * content + config.structure_weight * compact;
+    Some(ResultTuple { nodes: nodes.to_vec(), content_score: content, compactness: compact, score })
+}
+
 impl<'a> TopKSearcher<'a> {
-    /// Creates a searcher over prebuilt structures.
+    /// Creates a searcher over prebuilt structures.  Document components are
+    /// read from the graph (a build-time artifact), never recomputed here.
     pub fn new(collection: &'a Collection, index: &'a NodeIndex, graph: &'a DataGraph) -> Self {
         TopKSearcher { collection, index, graph }
     }
 
-    fn term_list(&self, term: &TermInput) -> Vec<ScoredNode> {
-        match &term.allowed_paths {
-            Some(paths) => self.index.evaluate_in_paths(&term.query, paths),
-            None => self.index.evaluate(&term.query),
+    /// The collection the searcher works over.
+    pub fn collection(&self) -> &Collection {
+        self.collection
+    }
+
+    /// Fills `scratch.lists[..terms.len()]` with the per-term sorted-access
+    /// lists, reusing the list buffers.
+    fn fill_term_lists(&self, terms: &[TermInput], scratch: &mut SearchScratch) {
+        while scratch.lists.len() < terms.len() {
+            scratch.lists.push(Vec::new());
+        }
+        for (term, list) in terms.iter().zip(scratch.lists.iter_mut()) {
+            self.index.evaluate_into(
+                &term.query,
+                term.allowed_paths.as_deref(),
+                &mut scratch.eval_candidates,
+                list,
+            );
         }
     }
 
-    /// Scores one candidate tuple, returning `None` for disconnected tuples.
-    fn score_tuple(
-        &self,
-        nodes: &[NodeId],
-        content: f64,
-        config: &TopKConfig,
-        stats: &mut SearchStats,
-    ) -> Option<ResultTuple> {
-        stats.tuples_scored += 1;
-        let compact = compactness(self.graph, self.collection, nodes, config.max_depth);
-        if compact == 0.0 && nodes.len() > 1 {
-            stats.tuples_disconnected += 1;
-            return None;
-        }
-        let score = config.content_weight * content + config.structure_weight * compact;
-        Some(ResultTuple {
-            nodes: nodes.to_vec(),
-            content_score: content,
-            compactness: compact,
-            score,
-        })
-    }
-
-    /// Runs the Threshold-Algorithm search.
+    /// Runs the Threshold-Algorithm search with a fresh scratch.
+    ///
+    /// Convenience wrapper over [`TopKSearcher::search_with`]; callers that
+    /// search repeatedly should reuse a [`SearchScratch`].
     pub fn search(&self, terms: &[TermInput], config: &TopKConfig) -> TopKResult {
+        self.search_with(terms, config, &mut SearchScratch::new())
+    }
+
+    /// Runs the Threshold-Algorithm search, reusing `scratch` for every
+    /// buffer the join loop needs.
+    ///
+    /// At most [`TopKConfig::candidate_limit`] candidate tuples are scored;
+    /// when the limit clips the candidate set, the number of dropped
+    /// combinations is recorded in [`SearchStats::candidates_truncated`].
+    pub fn search_with(
+        &self,
+        terms: &[TermInput],
+        config: &TopKConfig,
+        scratch: &mut SearchScratch,
+    ) -> TopKResult {
         let mut stats = SearchStats::default();
         if terms.is_empty() {
             return TopKResult { tuples: Vec::new(), stats };
         }
 
-        // Sorted-access lists, one per term.
-        let lists: Vec<Vec<ScoredNode>> = terms.iter().map(|t| self.term_list(t)).collect();
+        self.fill_term_lists(terms, scratch);
+        let SearchScratch {
+            traversal,
+            lists,
+            combo_nodes,
+            combo_scores,
+            next_nodes,
+            next_scores,
+            kth_scores,
+            positions,
+            best_scores,
+            ..
+        } = scratch;
+        let bfs_visits_before = traversal.bfs_visits;
+        let lists = &lists[..terms.len()];
         if lists.iter().any(Vec::is_empty) {
             // Some term has no match at all: the result is empty (Definition 4
             // requires every term to be satisfied).
             return TopKResult { tuples: Vec::new(), stats };
         }
-        let best_scores: Vec<f64> = lists.iter().map(|l| l[0].score).collect();
         let m = lists.len();
-        let components = DocComponents::build(self.collection, self.graph);
+        best_scores.clear();
+        best_scores.extend(lists.iter().map(|l| l[0].score));
+        positions.clear();
+        positions.resize(m, 0);
 
-        // Seen prefixes per list.
-        let mut seen: Vec<Vec<ScoredNode>> = vec![Vec::new(); m];
-        let mut positions = vec![0usize; m];
         let mut buffer: BinaryHeap<HeapTuple> = BinaryHeap::new();
-        let mut exhausted = false;
 
         'outer: loop {
             let mut advanced = false;
@@ -182,72 +215,82 @@ impl<'a> TopKSearcher<'a> {
                 positions[i] += 1;
                 advanced = true;
                 stats.sorted_accesses += 1;
-                let new_node = lists[i][pos].clone();
+                let new_node = lists[i][pos];
 
                 // Join the new node with every combination of already-seen
-                // nodes from the other lists.
-                let mut combos: Vec<(Vec<NodeId>, f64)> = vec![(Vec::new(), 0.0)];
-                for (j, seen_j) in seen.iter().enumerate() {
-                    let mut next = Vec::new();
+                // nodes from the other lists (their consumed prefixes).  The
+                // combos live in two flat ping-pong arenas: at stage j each
+                // combo is a j-sized NodeId run plus a running content score.
+                combo_nodes.clear();
+                combo_scores.clear();
+                combo_scores.push(0.0);
+                for j in 0..m {
+                    next_nodes.clear();
+                    next_scores.clear();
+                    let stride = j;
                     if j == i {
-                        for (nodes, content) in &combos {
-                            let mut nodes = nodes.clone();
-                            nodes.push(new_node.node);
-                            next.push((nodes, content + new_node.score));
+                        for (c, &content) in combo_scores.iter().enumerate() {
+                            next_nodes
+                                .extend_from_slice(&combo_nodes[c * stride..(c + 1) * stride]);
+                            next_nodes.push(new_node.node);
+                            next_scores.push(content + new_node.score);
                         }
                     } else {
-                        for (nodes, content) in &combos {
+                        let seen_j = &lists[j][..positions[j]];
+                        for (c, &content) in combo_scores.iter().enumerate() {
                             for candidate in seen_j {
                                 // Component pruning: a tuple spanning two
                                 // disconnected document components can never
                                 // be connected, so skip it before the BFS.
-                                if !components.same(candidate.node, new_node.node) {
+                                if !self.graph.same_component(candidate.node, new_node.node) {
                                     continue;
                                 }
                                 stats.random_accesses += 1;
-                                let mut nodes = nodes.clone();
-                                nodes.push(candidate.node);
-                                next.push((nodes, content + candidate.score));
+                                next_nodes
+                                    .extend_from_slice(&combo_nodes[c * stride..(c + 1) * stride]);
+                                next_nodes.push(candidate.node);
+                                next_scores.push(content + candidate.score);
                             }
                         }
                     }
-                    combos = next;
-                    if combos.is_empty() {
+                    std::mem::swap(combo_nodes, next_nodes);
+                    std::mem::swap(combo_scores, next_scores);
+                    if combo_scores.is_empty() {
                         break;
                     }
-                    if stats.tuples_scored + combos.len() > config.candidate_limit {
-                        combos.truncate(config.candidate_limit.saturating_sub(stats.tuples_scored));
+                    if stats.tuples_scored + combo_scores.len() > config.candidate_limit {
+                        let keep = config.candidate_limit.saturating_sub(stats.tuples_scored);
+                        stats.candidates_truncated += combo_scores.len() - keep;
+                        combo_scores.truncate(keep);
+                        combo_nodes.truncate(keep * (j + 1));
                     }
                 }
-                for (nodes, content) in combos {
-                    if nodes.len() != m {
-                        continue;
-                    }
-                    if let Some(tuple) = self.score_tuple(&nodes, content, config, &mut stats) {
-                        buffer.push(HeapTuple(tuple));
-                    }
-                    if stats.tuples_scored >= config.candidate_limit {
-                        break 'outer;
+                if combo_nodes.len() == combo_scores.len() * m {
+                    for (c, &content) in combo_scores.iter().enumerate() {
+                        let nodes = &combo_nodes[c * m..(c + 1) * m];
+                        if let Some(tuple) =
+                            score_tuple(self.graph, traversal, nodes, content, config, &mut stats)
+                        {
+                            buffer.push(HeapTuple(tuple));
+                        }
+                        if stats.tuples_scored >= config.candidate_limit {
+                            break 'outer;
+                        }
                     }
                 }
-                seen[i].push(new_node);
 
                 // Threshold test: an unseen combination can score at most
                 //   max_i ( frontier_i + Σ_{j≠i} best_j )
                 // in content, plus the maximal structural bonus.
-                let frontier: Vec<f64> = (0..m)
-                    .map(|j| {
-                        if positions[j] == 0 {
-                            best_scores[j]
-                        } else if positions[j] <= lists[j].len() {
-                            lists[j][positions[j] - 1].score
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect();
                 let mut threshold_content = f64::NEG_INFINITY;
-                for (j, &front) in frontier.iter().enumerate().take(m) {
+                for j in 0..m {
+                    let front = if positions[j] == 0 {
+                        best_scores[j]
+                    } else if positions[j] <= lists[j].len() {
+                        lists[j][positions[j] - 1].score
+                    } else {
+                        0.0
+                    };
                     let mut bound = front;
                     for (l, best) in best_scores.iter().enumerate() {
                         if l != j {
@@ -260,7 +303,7 @@ impl<'a> TopKSearcher<'a> {
                     config.content_weight * threshold_content + config.structure_weight * 1.0;
 
                 if buffer.len() >= config.k {
-                    let kth_score = kth_best_score(&buffer, config.k);
+                    let kth_score = kth_best_score(&buffer, config.k, kth_scores);
                     if kth_score >= threshold {
                         stats.early_terminated = true;
                         break 'outer;
@@ -268,11 +311,10 @@ impl<'a> TopKSearcher<'a> {
                 }
             }
             if !advanced {
-                exhausted = true;
                 break;
             }
         }
-        let _ = exhausted;
+        stats.bfs_visits = traversal.bfs_visits - bfs_visits_before;
 
         let mut tuples: Vec<ResultTuple> =
             buffer.into_sorted_vec().into_iter().map(|h| h.0).collect();
@@ -283,46 +325,94 @@ impl<'a> TopKSearcher<'a> {
         TopKResult { tuples, stats }
     }
 
-    /// Exhaustive baseline: enumerates every combination of matching nodes,
-    /// scores them all and returns the best `k`.  Used to validate the TA
-    /// implementation and as the comparison point in the benchmark harness.
+    /// Exhaustive baseline with a fresh scratch: enumerates every combination
+    /// of matching nodes, scores them all and returns the best `k`.  Used to
+    /// validate the TA implementation and as the comparison point in the
+    /// benchmark harness.
     pub fn search_naive(&self, terms: &[TermInput], config: &TopKConfig) -> TopKResult {
+        self.search_naive_with(terms, config, &mut SearchScratch::new())
+    }
+
+    /// [`TopKSearcher::search_naive`] reusing a caller-owned scratch.
+    ///
+    /// Like the TA search, at most [`TopKConfig::candidate_limit`] candidate
+    /// tuples are materialised; clipped combinations are counted in
+    /// [`SearchStats::candidates_truncated`].
+    pub fn search_naive_with(
+        &self,
+        terms: &[TermInput],
+        config: &TopKConfig,
+        scratch: &mut SearchScratch,
+    ) -> TopKResult {
         let mut stats = SearchStats::default();
         if terms.is_empty() {
             return TopKResult { tuples: Vec::new(), stats };
         }
-        let lists: Vec<Vec<ScoredNode>> = terms.iter().map(|t| self.term_list(t)).collect();
+        self.fill_term_lists(terms, scratch);
+        let SearchScratch {
+            traversal,
+            lists,
+            combo_nodes,
+            combo_scores,
+            next_nodes,
+            next_scores,
+            ..
+        } = scratch;
+        let bfs_visits_before = traversal.bfs_visits;
+        let lists = &lists[..terms.len()];
         if lists.iter().any(Vec::is_empty) {
             return TopKResult { tuples: Vec::new(), stats };
         }
         stats.sorted_accesses = lists.iter().map(Vec::len).sum();
-        let components = DocComponents::build(self.collection, self.graph);
+        let m = lists.len();
 
-        let mut combos: Vec<(Vec<NodeId>, f64)> = vec![(Vec::new(), 0.0)];
-        for list in &lists {
-            let mut next = Vec::with_capacity(combos.len() * list.len());
-            for (nodes, content) in &combos {
-                for candidate in list {
-                    if let Some(&first) = nodes.first() {
-                        if !components.same(first, candidate.node) {
+        combo_nodes.clear();
+        combo_scores.clear();
+        combo_scores.push(0.0);
+        for (j, list) in lists.iter().enumerate() {
+            next_nodes.clear();
+            next_scores.clear();
+            let stride = j;
+            'combos: for (c, &content) in combo_scores.iter().enumerate() {
+                let run = &combo_nodes[c * stride..(c + 1) * stride];
+                for (ci, candidate) in list.iter().enumerate() {
+                    if let Some(&first) = run.first() {
+                        if !self.graph.same_component(first, candidate.node) {
                             continue;
                         }
                     }
-                    let mut nodes = nodes.clone();
-                    nodes.push(candidate.node);
-                    next.push((nodes, content + candidate.score));
-                    if next.len() > config.candidate_limit {
-                        break;
+                    next_nodes.extend_from_slice(run);
+                    next_nodes.push(candidate.node);
+                    next_scores.push(content + candidate.score);
+                    if next_scores.len() > config.candidate_limit {
+                        // Candidate-limit guard against combinatorial
+                        // blow-up: everything after this point in the stage
+                        // is dropped and accounted for.
+                        stats.candidates_truncated +=
+                            (list.len() - ci - 1) + (combo_scores.len() - c - 1) * list.len();
+                        break 'combos;
                     }
                 }
             }
-            combos = next;
+            std::mem::swap(combo_nodes, next_nodes);
+            std::mem::swap(combo_scores, next_scores);
+            if combo_scores.is_empty() {
+                break;
+            }
         }
 
-        let mut tuples: Vec<ResultTuple> = combos
-            .into_iter()
-            .filter_map(|(nodes, content)| self.score_tuple(&nodes, content, config, &mut stats))
-            .collect();
+        let mut tuples: Vec<ResultTuple> = Vec::new();
+        if combo_nodes.len() == combo_scores.len() * m {
+            for (c, &content) in combo_scores.iter().enumerate() {
+                let nodes = &combo_nodes[c * m..(c + 1) * m];
+                if let Some(tuple) =
+                    score_tuple(self.graph, traversal, nodes, content, config, &mut stats)
+                {
+                    tuples.push(tuple);
+                }
+            }
+        }
+        stats.bfs_visits = traversal.bfs_visits - bfs_visits_before;
         tuples.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -334,10 +424,11 @@ impl<'a> TopKSearcher<'a> {
     }
 }
 
-fn kth_best_score(buffer: &BinaryHeap<HeapTuple>, k: usize) -> f64 {
-    // BinaryHeap gives no direct k-th access; clone the scores (buffer stays
-    // small: it holds scored tuples only).
-    let mut scores: Vec<f64> = buffer.iter().map(|h| h.0.score).collect();
+fn kth_best_score(buffer: &BinaryHeap<HeapTuple>, k: usize, scores: &mut Vec<f64>) -> f64 {
+    // BinaryHeap gives no direct k-th access; collect the scores into the
+    // reused scratch (buffer stays small: it holds scored tuples only).
+    scores.clear();
+    scores.extend(buffer.iter().map(|h| h.0.score));
     scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
     scores.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY)
 }
@@ -467,6 +558,24 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let mut scratch = SearchScratch::new();
+        for k in [1usize, 3, 10] {
+            let config = TopKConfig::with_k(k);
+            let reused = searcher.search_with(&terms, &config, &mut scratch);
+            let fresh = searcher.search(&terms, &config);
+            assert_eq!(reused.tuples, fresh.tuples, "scratch reuse changed results at k={k}");
+            let reused_naive = searcher.search_naive_with(&terms, &config, &mut scratch);
+            let fresh_naive = searcher.search_naive(&terms, &config);
+            assert_eq!(reused_naive.tuples, fresh_naive.tuples);
+        }
+    }
+
+    #[test]
     fn k_limits_the_result_size() {
         let c = factbook_fragment();
         let (index, graph) = searcher_parts(&c);
@@ -531,5 +640,36 @@ mod tests {
         let naive = searcher.search_naive(&terms, &TopKConfig::with_k(1));
         assert!(small_k.stats.sorted_accesses > 0);
         assert!(small_k.stats.tuples_scored <= naive.stats.tuples_scored);
+        assert!(small_k.stats.bfs_visits > 0, "connectivity checks are accounted");
+        assert!(naive.stats.bfs_visits > 0);
+    }
+
+    #[test]
+    fn candidate_truncation_is_recorded_not_silent() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+
+        // A generous limit loses nothing and reports nothing.
+        let unclipped = searcher.search(&terms, &TopKConfig::with_k(10));
+        assert_eq!(unclipped.stats.candidates_truncated, 0);
+
+        // A tiny limit clips the candidate set and must say so.
+        let mut tight = TopKConfig::with_k(10);
+        tight.candidate_limit = 3;
+        let clipped = searcher.search(&terms, &tight);
+        assert!(clipped.stats.tuples_scored <= 3);
+        assert!(
+            clipped.stats.candidates_truncated > 0,
+            "clipped combos must be counted: {:?}",
+            clipped.stats
+        );
+        let clipped_naive = searcher.search_naive(&terms, &tight);
+        assert!(
+            clipped_naive.stats.candidates_truncated > 0,
+            "naive clipping must be counted: {:?}",
+            clipped_naive.stats
+        );
     }
 }

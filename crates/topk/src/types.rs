@@ -43,6 +43,11 @@ pub struct TopKConfig {
     pub structure_weight: f64,
     /// Upper bound on the number of candidate tuples the algorithm will score
     /// (guards against combinatorial blow-up on match-all terms).
+    ///
+    /// When the bound clips the candidate set, the search result is a
+    /// **best-effort** top-k over the combinations enumerated up to that
+    /// point; the number of dropped combinations is reported in
+    /// [`SearchStats::candidates_truncated`] rather than lost silently.
     pub candidate_limit: usize,
 }
 
@@ -90,6 +95,12 @@ pub struct SearchStats {
     pub tuples_scored: usize,
     /// Candidate tuples discarded because they were not connected.
     pub tuples_disconnected: usize,
+    /// Candidate combinations dropped because
+    /// [`TopKConfig::candidate_limit`] clipped the candidate set.  Non-zero
+    /// means the result is a best-effort top-k rather than an exact one.
+    pub candidates_truncated: usize,
+    /// Nodes visited by the breadth-first connectivity/compactness checks.
+    pub bfs_visits: u64,
     /// True when the algorithm stopped via the threshold condition rather
     /// than exhausting all lists.
     pub early_terminated: bool,

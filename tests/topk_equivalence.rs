@@ -1,0 +1,144 @@
+//! The optimized Threshold-Algorithm searcher must return exactly the same
+//! top-k answers as the exhaustive `search_naive` oracle — same tuples, same
+//! scores (within 1e-9) — across randomized datagen corpora.
+//!
+//! This pins the whole optimized read path at once: the interned score-sorted
+//! postings of `NodeIndex`, the CSR adjacency + cached components of
+//! `DataGraph`, and the allocation-free join loop of `TopKSearcher`.
+
+use proptest::prelude::*;
+
+use seda_core::seda_topk::{SearchScratch, TermInput, TopKConfig, TopKSearcher};
+use seda_core::{ContextSelections, EngineConfig, SedaEngine, SedaQuery};
+use seda_datagen::{googlebase, mondial, GoogleBaseConfig, MondialConfig};
+use seda_olap::Registry;
+use seda_xmlstore::Collection;
+
+fn engine(collection: Collection) -> SedaEngine {
+    SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+        .expect("engine build")
+}
+
+/// Resolves a query string to concrete term inputs the searchers accept.
+fn term_inputs(engine: &SedaEngine, query_text: &str) -> Vec<TermInput> {
+    let collection = engine.collection();
+    SedaQuery::parse(query_text)
+        .expect("query parses")
+        .terms
+        .iter()
+        .map(|t| match t.context.allowed_paths(collection) {
+            Some(paths) => TermInput::with_paths(t.search.clone(), paths),
+            None => TermInput::new(t.search.clone()),
+        })
+        .collect()
+}
+
+/// Asserts TA == naive: same tuple count, same scores within 1e-9, and the
+/// same node tuples (both searchers break score ties by ascending node
+/// tuples, so the sequences must agree exactly).
+fn assert_equivalent(
+    engine: &SedaEngine,
+    terms: &[TermInput],
+    k: usize,
+) -> Result<(), TestCaseError> {
+    let searcher = TopKSearcher::new(engine.collection(), engine.node_index(), engine.graph());
+    let config = TopKConfig::with_k(k);
+    let mut scratch = SearchScratch::new();
+    let ta = searcher.search_with(terms, &config, &mut scratch);
+    let naive = searcher.search_naive_with(terms, &config, &mut scratch);
+    prop_assert_eq!(ta.tuples.len(), naive.tuples.len(), "result sizes differ");
+    for (i, (a, b)) in ta.tuples.iter().zip(naive.tuples.iter()).enumerate() {
+        prop_assert!(
+            (a.score - b.score).abs() < 1e-9,
+            "scores diverge at rank {}: TA {} vs naive {}",
+            i,
+            a.score,
+            b.score
+        );
+        prop_assert_eq!(
+            &a.nodes,
+            &b.nodes,
+            "tuples diverge at rank {}: TA {:?} vs naive {:?}",
+            i,
+            &a.nodes,
+            &b.nodes
+        );
+    }
+    // Neither search may have clipped candidates, otherwise the oracle
+    // comparison would be vacuous.
+    prop_assert_eq!(ta.stats.candidates_truncated, 0);
+    prop_assert_eq!(naive.stats.candidates_truncated, 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mondial-like corpora: cross-document IDREF edges make the document
+    /// components non-trivial, so this exercises component pruning and the
+    /// cross-document BFS of the compactness scoring.
+    #[test]
+    fn ta_matches_naive_on_mondial(
+        countries in 2usize..7,
+        provinces in 1usize..8,
+        cities in 1usize..10,
+        seas in 1usize..4,
+        seed in 0u64..1_000,
+        k in 1usize..8,
+    ) {
+        let config = MondialConfig {
+            countries,
+            provinces,
+            cities,
+            seas,
+            rivers: 2,
+            organizations: 2,
+            features: 2,
+            seed,
+        };
+        let engine = engine(mondial::generate(&config).expect("generate mondial"));
+        let terms = term_inputs(&engine, "(name, *) AND (population, *)");
+        assert_equivalent(&engine, &terms, k)?;
+    }
+
+    /// Google-Base-like corpora: heterogeneous single-item documents with no
+    /// cross edges, so every document is its own component and the join is
+    /// dominated by component pruning and content scoring.
+    #[test]
+    fn ta_matches_naive_on_googlebase(
+        items in 5usize..40,
+        categories in 1usize..6,
+        seed in 0u64..1_000,
+        k in 1usize..8,
+    ) {
+        let config = GoogleBaseConfig { items, categories, attributes_per_category: 4, seed };
+        let engine = engine(googlebase::generate(&config).expect("generate googlebase"));
+        let terms = term_inputs(&engine, "(title, model) AND (price, *)");
+        assert_equivalent(&engine, &terms, k)?;
+    }
+}
+
+/// The fixed workloads of `BENCH_topk.json` agree between TA and the oracle
+/// too (non-random sanity anchor for the property above).
+#[test]
+fn ta_matches_naive_on_fixed_small_workloads() {
+    let engine = engine(mondial::generate(&MondialConfig::small()).expect("generate mondial"));
+    let terms = term_inputs(&engine, "(name, *) AND (population, *)");
+    let searcher = TopKSearcher::new(engine.collection(), engine.node_index(), engine.graph());
+    let mut scratch = SearchScratch::new();
+    let config = TopKConfig::with_k(10);
+    let ta = searcher.search_with(&terms, &config, &mut scratch);
+    let naive = searcher.search_naive_with(&terms, &config, &mut scratch);
+    assert_eq!(ta.tuples.len(), naive.tuples.len());
+    for (a, b) in ta.tuples.iter().zip(naive.tuples.iter()) {
+        assert!((a.score - b.score).abs() < 1e-9);
+        assert_eq!(a.nodes, b.nodes);
+    }
+    // The engine-level entry point agrees with the direct searcher.
+    let via_engine = engine.top_k(
+        &SedaQuery::parse("(name, *) AND (population, *)").unwrap(),
+        &ContextSelections::none(),
+        10,
+    );
+    assert_eq!(via_engine.tuples, ta.tuples);
+}
