@@ -30,7 +30,7 @@ fn bench_cube(c: &mut Criterion) {
                 selections.select(term, vec![p]);
             }
         }
-        let result = engine.complete_results(&query, &selections, &[]);
+        let result = engine.complete_results(&query, &selections, &[]).expect("complete results");
         group.bench_with_input(
             BenchmarkId::new("star_schema_build", result.len()),
             &result,

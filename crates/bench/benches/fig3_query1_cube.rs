@@ -27,8 +27,8 @@ fn bench_query1(c: &mut Criterion) {
         b.iter(|| {
             let mut session = Session::new(&engine);
             session.set_k(10);
-            let top = session.submit(query1());
-            (top.tuples.len(), session.connection_summary().map(|s| s.len()))
+            let top_len = session.submit(query1()).expect("submit query 1").tuples.len();
+            (top_len, session.connection_summary().map(|s| s.len()))
         })
     });
     group.bench_function("complete_results_and_cube", |b| {

@@ -1,0 +1,44 @@
+//! Emits the machine-readable pipeline benchmark report
+//! (`BENCH_pipeline.json`): full request → response latency of the unified
+//! query facade, per dataset and per statement.
+//!
+//! Every measurement is one textual request (`TOPK`, `CONTEXTS`,
+//! `CONNECTIONS`, and for the factbook workload `RESULTS` and `CUBE`)
+//! planned and executed through a `SedaReader`, so the numbers include
+//! parsing, planning, context resolution and execution — what a serving
+//! deployment would observe.  The committed `BENCH_pipeline.json` at the
+//! repo root keeps one entry per PR so the bench trajectory is reviewable;
+//! CI only compiles this binary.
+//!
+//! Usage: `cargo run --release -p seda-bench --bin bench_pipeline [-- <out.json>]`
+//! (default output path `BENCH_pipeline.json`; set `BENCH_LABEL` to tag the
+//! run).
+
+use std::time::Instant;
+
+use seda_bench::{measure_pipeline, topk_workloads, PipelineMeasurement};
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "local".to_string());
+
+    let started = Instant::now();
+    let mut measurements: Vec<PipelineMeasurement> = Vec::new();
+    for workload in topk_workloads() {
+        eprintln!("workload {} ({} docs) ...", workload.name, workload.engine.collection().len());
+        measurements.extend(measure_pipeline(&workload));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"label\": {:?},\n", label));
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&m.to_json("    "));
+        json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    println!("{json}");
+    eprintln!("wrote {out_path} in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -11,7 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use seda_core::{BuildProfile, ContextSelections, EngineConfig, SedaEngine, SedaQuery};
+use seda_core::{BuildProfile, EngineConfig, SedaEngine, SedaQuery, SedaRequest, SedaResponse};
 use seda_datagen::{
     factbook, googlebase, mondial, recipeml, Dataset, FactbookConfig, GoogleBaseConfig,
     MondialConfig, RecipeMlConfig,
@@ -274,11 +274,27 @@ impl TopKWorkload {
             .collect()
     }
 
-    /// Measures TA at k ∈ {1, 10, 100} plus the naive baseline at k = 10,
-    /// each best-of-three after one warm-up run, through a reused
-    /// [`seda_topk::SearchScratch`] (the steady-state serving configuration,
-    /// matching what `SedaEngine::top_k` does with its cached scratch).
+    /// Measures TA at k ∈ {1, 10, 100} through a [`seda_core::SedaReader`]
+    /// (the facade's steady-state serving configuration: one per-thread
+    /// handle, scratch reused across queries), plus the exhaustive naive
+    /// baseline at k = 10 via the raw searcher.  Each number is
+    /// best-of-three after one warm-up run.  The request is planned once
+    /// outside the timed loop, so the TA and naive numbers both measure
+    /// pure execution over pre-resolved term inputs.
     pub fn measure(&self) -> Vec<TopKMeasurement> {
+        let mut reader = self.engine.reader();
+        let mut out = Vec::new();
+        for &k in &[1usize, 10, 100] {
+            let request = SedaRequest::parse(&format!("TOPK {k} FOR {}", self.query_text))
+                .expect("workload request parses");
+            let plan = self.engine.plan(&request).expect("workload request plans");
+            let (response, wall_ms) =
+                best_of_three(|| reader.execute_plan(&plan).expect("workload executes"));
+            let result = response.top_k().expect("TOPK response carries a result").clone();
+            out.push(self.measurement("ta", k, wall_ms, &result));
+        }
+        // The naive baseline is not part of the public facade: it exists to
+        // quantify the Threshold Algorithm's early termination.
         let searcher = seda_topk::TopKSearcher::new(
             self.engine.collection(),
             self.engine.node_index(),
@@ -286,13 +302,6 @@ impl TopKWorkload {
         );
         let terms = self.term_inputs();
         let mut scratch = seda_topk::SearchScratch::new();
-        let mut out = Vec::new();
-        for &k in &[1usize, 10, 100] {
-            let config = seda_topk::TopKConfig::with_k(k);
-            let (result, wall_ms) =
-                best_of_three(|| searcher.search_with(&terms, &config, &mut scratch));
-            out.push(self.measurement("ta", k, wall_ms, &result));
-        }
         let config = seda_topk::TopKConfig::with_k(10);
         let (result, wall_ms) =
             best_of_three(|| searcher.search_naive_with(&terms, &config, &mut scratch));
@@ -365,27 +374,118 @@ pub fn topk_workloads() -> Vec<TopKWorkload> {
     ]
 }
 
-/// Runs the full Query 1 pipeline (context refinement to import partners,
-/// complete results, star schema) and returns the build — the Figure 3
-/// artefact.
-pub fn run_query1_cube(engine: &SedaEngine) -> StarSchemaBuild {
-    let collection = engine.collection();
-    let query = query1();
-    let mut selections = ContextSelections::none();
-    let name = collection.paths().get_str(collection.symbols(), "/country/name");
-    let tc = collection
-        .paths()
-        .get_str(collection.symbols(), "/country/economy/import_partners/item/trade_country");
-    let pct = collection
-        .paths()
-        .get_str(collection.symbols(), "/country/economy/import_partners/item/percentage");
-    if let (Some(name), Some(tc), Some(pct)) = (name, tc, pct) {
-        selections.select(0, vec![name]);
-        selections.select(1, vec![tc]);
-        selections.select(2, vec![pct]);
+/// The Query 1 refinement as a facade request: every term pinned to its
+/// import-partner context.  Paths absent from the corpus are dropped from
+/// the refinement (small corpora may lack import partners).
+pub fn query1_request(engine: &SedaEngine, statement: &str) -> SedaRequest {
+    let mut text = format!("{statement} FOR {}", query1());
+    for (term, path) in [
+        (0usize, "/country/name"),
+        (1, "/country/economy/import_partners/item/trade_country"),
+        (2, "/country/economy/import_partners/item/percentage"),
+    ] {
+        if engine.resolve_path(path).is_ok() {
+            text.push_str(&format!(" WITH {term} IN {path}"));
+        }
     }
-    let result = engine.complete_results(&query, &selections, &[]);
-    engine.build_star_schema(&result, &BuildOptions::default())
+    SedaRequest::parse(&text).expect("query 1 request parses")
+}
+
+/// Runs the full Query 1 pipeline (context refinement to import partners,
+/// complete results, star schema) through the request facade and returns the
+/// build — the Figure 3 artefact.
+pub fn run_query1_cube(engine: &SedaEngine) -> StarSchemaBuild {
+    let request = query1_request(engine, "RESULTS");
+    let mut reader = engine.reader();
+    let response = reader.execute(&request).expect("query 1 complete-results request");
+    let result = response.table().expect("RESULTS response carries a table");
+    engine.build_star_schema(result, &BuildOptions::default())
+}
+
+/// One measured request → response trip through the facade, serialisable
+/// into the `BENCH_pipeline.json` report.
+#[derive(Debug, Clone)]
+pub struct PipelineMeasurement {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Statement verb of the request (`TOPK`, `CONTEXTS`, …).
+    pub statement: String,
+    /// Canonical textual form of the request.
+    pub request: String,
+    /// Rows in the response payload.
+    pub rows: usize,
+    /// Best-of-three request → response wall time in milliseconds
+    /// (plan + execution).
+    pub wall_ms: f64,
+    /// Planning share of the measured run, in milliseconds.
+    pub plan_ms: f64,
+    /// Sorted posting-list accesses of the measured run.
+    pub sorted_accesses: usize,
+    /// Random-access probes of the measured run.
+    pub random_accesses: usize,
+    /// BFS visits of the measured run.
+    pub bfs_visits: u64,
+}
+
+impl PipelineMeasurement {
+    /// Renders the measurement as one indented JSON object (no trailing
+    /// newline).
+    pub fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{indent}{{\"workload\": {:?}, \"statement\": {:?}, \"request\": {:?}, \
+             \"rows\": {}, \"wall_ms\": {:.3}, \"plan_ms\": {:.3}, \
+             \"sorted_accesses\": {}, \"random_accesses\": {}, \"bfs_visits\": {}}}",
+            self.workload,
+            self.statement,
+            self.request,
+            self.rows,
+            self.wall_ms,
+            self.plan_ms,
+            self.sorted_accesses,
+            self.random_accesses,
+            self.bfs_visits,
+        )
+    }
+}
+
+/// Measures the full request → response pipeline of one workload: every
+/// statement of the Fig. 4 engine, best-of-three through one reader handle.
+pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
+    let engine = &workload.engine;
+    let mut reader = engine.reader();
+    let mut requests = vec![
+        SedaRequest::parse(&format!("TOPK 10 FOR {}", workload.query_text))
+            .expect("pipeline request parses"),
+        SedaRequest::parse(&format!("CONTEXTS FOR {}", workload.query_text))
+            .expect("pipeline request parses"),
+        SedaRequest::parse(&format!("CONNECTIONS 10 FOR {}", workload.query_text))
+            .expect("pipeline request parses"),
+    ];
+    if workload.name == "factbook" {
+        // The complete-result / cube stages need the paper's refined
+        // contexts to stay tractable, which only the factbook corpus has.
+        requests.push(query1_request(engine, "RESULTS"));
+        requests
+            .push(query1_request(engine, "CUBE import-trade-percentage BY import-country AGG sum"));
+    }
+    requests
+        .iter()
+        .map(|request| {
+            let (response, wall_ms): (SedaResponse, f64) =
+                best_of_three(|| reader.execute(request).expect("pipeline request executes"));
+            PipelineMeasurement {
+                workload: workload.name,
+                statement: request.statement.name().to_string(),
+                request: request.render(),
+                rows: response.profile.rows,
+                wall_ms,
+                plan_ms: response.profile.plan_secs * 1e3,
+                sorted_accesses: response.profile.sorted_accesses,
+                random_accesses: response.profile.random_accesses,
+                bfs_visits: response.profile.bfs_visits,
+            }
+        })
+        .collect()
 }
 
 /// Renders the Figure 3(c) fact table (restricted to the United States rows

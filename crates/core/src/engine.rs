@@ -12,12 +12,13 @@
 //! [`EngineConfig::parallelism`], and records a [`BuildProfile`] with
 //! per-substrate shard and merge wall times.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use seda_datagraph::{shortest_path, DataGraph, GraphConfig};
+use seda_datagraph::{is_connected_with, shortest_path_with, DataGraph, GraphConfig};
 use seda_dataguide::{
     discover_connections, guide_links, Connection, DataGuideSet, DataGuideStats, GuideLink,
 };
@@ -28,6 +29,7 @@ use seda_topk::{TermInput, TopKConfig, TopKResult, TopKSearcher};
 use seda_twigjoin::{evaluate_twig, Axis, TwigPattern};
 use seda_xmlstore::{Collection, DocId, NodeId, PathId};
 
+use crate::error::SedaError;
 use crate::parallel::{effective_parallelism, parallel_map};
 use crate::query::{ContextSpec, SedaQuery};
 use crate::summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
@@ -217,7 +219,15 @@ pub struct SedaEngine {
     /// and BFS scratch every top-k query reuses.  Guarded by a mutex so the
     /// engine stays `Sync`; concurrent queries fall back to a fresh scratch
     /// instead of blocking (see [`SedaEngine::top_k`]).
+    ///
+    /// This mutex backs only the legacy convenience methods.  Queries issued
+    /// through a [`crate::SedaReader`] own their scratch and never touch it —
+    /// the contention-free path [`SedaEngine::reader`] hands out.
     query_scratch: Mutex<SearchScratch>,
+    /// How many queries ran through the shared `query_scratch` (legacy
+    /// convenience path).  Reader-handle queries never increment this; the
+    /// concurrency tests pin that invariant.
+    shared_scratch_queries: AtomicUsize,
 }
 
 impl SedaEngine {
@@ -233,7 +243,7 @@ impl SedaEngine {
         collection: Collection,
         registry: Registry,
         config: EngineConfig,
-    ) -> seda_xmlstore::Result<Self> {
+    ) -> Result<Self, SedaError> {
         let build_start = Instant::now();
         // More workers than documents cannot help; clamping keeps the
         // reported parallelism honest and avoids spawning idle workers for
@@ -269,6 +279,7 @@ impl SedaEngine {
             config,
             profile,
             query_scratch: Mutex::new(SearchScratch::new()),
+            shared_scratch_queries: AtomicUsize::new(0),
         })
     }
 
@@ -406,9 +417,20 @@ impl SedaEngine {
         self.guides.stats(self.collection.len())
     }
 
+    /// Queries that ran through the engine's shared cached scratch (the
+    /// legacy convenience path).  Queries issued through [`SedaEngine::reader`]
+    /// handles own their scratch and leave this counter untouched.
+    pub fn shared_scratch_queries(&self) -> usize {
+        self.shared_scratch_queries.load(Ordering::Relaxed)
+    }
+
     /// Resolves the allowed paths of every term, combining the term's own
     /// context spec with any user selection from the context summary.
-    fn term_inputs(&self, query: &SedaQuery, selections: &ContextSelections) -> Vec<TermInput> {
+    pub(crate) fn term_inputs(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+    ) -> Vec<TermInput> {
         query
             .terms
             .iter()
@@ -444,17 +466,42 @@ impl SedaEngine {
         selections: &ContextSelections,
         k: usize,
     ) -> (TopKResult, QueryProfile) {
+        self.shared_scratch_queries.fetch_add(1, Ordering::Relaxed);
+        match self.query_scratch.try_lock() {
+            Ok(mut scratch) => self.top_k_scratch(query, selections, k, &mut scratch),
+            // Contended or poisoned: a fresh scratch keeps the query correct
+            // (and the engine Sync) at the cost of this query's allocations.
+            Err(_) => self.top_k_scratch(query, selections, k, &mut SearchScratch::new()),
+        }
+    }
+
+    /// The scratch-parameterised top-k search every entry point (legacy
+    /// convenience methods, reader handles, the facade executor) funnels
+    /// through.
+    pub(crate) fn top_k_scratch(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (TopKResult, QueryProfile) {
+        let terms = self.term_inputs(query, selections);
+        self.search_terms(&terms, k, scratch)
+    }
+
+    /// Runs the Threshold-Algorithm searcher over pre-resolved term inputs.
+    /// `k == 0` is honoured literally and yields an empty result.
+    pub(crate) fn search_terms(
+        &self,
+        terms: &[TermInput],
+        k: usize,
+        scratch: &mut SearchScratch,
+    ) -> (TopKResult, QueryProfile) {
         let start = Instant::now();
         let searcher = TopKSearcher::new(&self.collection, &self.node_index, &self.graph);
         let mut config = self.config.topk.clone();
         config.k = k;
-        let terms = self.term_inputs(query, selections);
-        let result = match self.query_scratch.try_lock() {
-            Ok(mut scratch) => searcher.search_with(&terms, &config, &mut scratch),
-            // Contended or poisoned: a fresh scratch keeps the query correct
-            // (and the engine Sync) at the cost of this query's allocations.
-            Err(_) => searcher.search(&terms, &config),
-        };
+        let result = searcher.search_with(terms, &config, scratch);
         let profile =
             QueryProfile { stats: result.stats.clone(), wall_secs: start.elapsed().as_secs_f64() };
         (result, profile)
@@ -523,20 +570,15 @@ impl SedaEngine {
         ConnectionSummary { connections }
     }
 
-    /// Computes the complete (non-top-k) result set R(q) for a refined query
-    /// (Sec. 7): every term restricted to its selected contexts, tuples
-    /// restricted to the selected connections.
-    pub fn complete_results(
+    /// Per-term candidate context paths: the user's selection, the term's own
+    /// context spec, or (for fully unrestricted terms) every path the search
+    /// component can match.
+    pub(crate) fn term_paths(
         &self,
         query: &SedaQuery,
         selections: &ContextSelections,
-        connections: &[Connection],
-    ) -> QueryResultTable {
-        let column_names = query.terms.iter().map(|t| t.label()).collect();
-        let mut table = QueryResultTable::new(column_names);
-
-        // Resolve the allowed paths of every term.
-        let term_paths: Vec<Vec<PathId>> = query
+    ) -> Vec<Vec<PathId>> {
+        query
             .terms
             .iter()
             .enumerate()
@@ -547,9 +589,77 @@ impl SedaEngine {
                     .allowed_paths(&self.collection)
                     .unwrap_or_else(|| self.paths_matching_search(&term.search)),
             })
-            .collect();
+            .collect()
+    }
+
+    /// Number of concrete per-term context combinations the complete-result
+    /// generator would enumerate over already-resolved per-term path sets
+    /// (callers hold the paths, so they are never resolved twice);
+    /// [`SedaError::Limit`] when it exceeds
+    /// [`EngineConfig::complete_result_limit`].
+    pub(crate) fn context_combinations_of(
+        &self,
+        term_paths: &[Vec<PathId>],
+    ) -> Result<usize, SedaError> {
         if term_paths.iter().any(Vec::is_empty) {
-            return table;
+            return Ok(0);
+        }
+        let mut combinations = 1usize;
+        for paths in term_paths {
+            combinations = combinations.saturating_mul(paths.len());
+        }
+        if combinations > self.config.complete_result_limit {
+            return Err(SedaError::Limit {
+                what: "context combinations",
+                limit: self.config.complete_result_limit,
+                requested: combinations,
+            });
+        }
+        Ok(combinations)
+    }
+
+    /// Computes the complete (non-top-k) result set R(q) for a refined query
+    /// (Sec. 7): every term restricted to its selected contexts, tuples
+    /// restricted to the selected connections.
+    ///
+    /// Fails with [`SedaError::Limit`] instead of silently clipping when the
+    /// context combinations or materialised rows would exceed
+    /// [`EngineConfig::complete_result_limit`].
+    pub fn complete_results(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        connections: &[Connection],
+    ) -> Result<QueryResultTable, SedaError> {
+        self.shared_scratch_queries.fetch_add(1, Ordering::Relaxed);
+        match self.query_scratch.try_lock() {
+            Ok(mut scratch) => {
+                self.complete_results_scratch(query, selections, connections, &mut scratch)
+            }
+            Err(_) => self.complete_results_scratch(
+                query,
+                selections,
+                connections,
+                &mut SearchScratch::new(),
+            ),
+        }
+    }
+
+    /// [`SedaEngine::complete_results`] reusing a caller-owned scratch for
+    /// every graph traversal (the reader-handle path).
+    pub(crate) fn complete_results_scratch(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        connections: &[Connection],
+        scratch: &mut SearchScratch,
+    ) -> Result<QueryResultTable, SedaError> {
+        let column_names = query.terms.iter().map(|t| t.label()).collect();
+        let mut table = QueryResultTable::new(column_names);
+
+        let term_paths = self.term_paths(query, selections);
+        if self.context_combinations_of(&term_paths)? == 0 {
+            return Ok(table);
         }
 
         // Enumerate one concrete context per term (usually a single
@@ -559,7 +669,20 @@ impl SedaEngine {
         loop {
             let chosen: Vec<PathId> =
                 combination.iter().enumerate().map(|(t, &i)| term_paths[t][i]).collect();
-            self.evaluate_combination(query, &chosen, connections, &mut table);
+            self.evaluate_combination(query, &chosen, connections, &mut table, scratch)?;
+            if table.rows.len() > self.config.complete_result_limit {
+                // Different combinations may produce overlapping rows, so
+                // dedup before concluding the (final) result is over-limit.
+                table.rows.sort();
+                table.rows.dedup();
+                if table.rows.len() > self.config.complete_result_limit {
+                    return Err(SedaError::Limit {
+                        what: "complete-result tuples",
+                        limit: self.config.complete_result_limit,
+                        requested: table.rows.len(),
+                    });
+                }
+            }
 
             // Advance the mixed-radix counter.
             let mut pos = 0;
@@ -568,7 +691,7 @@ impl SedaEngine {
                     // Deduplicate rows that different combinations may share.
                     table.rows.sort();
                     table.rows.dedup();
-                    return table;
+                    return Ok(table);
                 }
                 combination[pos] += 1;
                 if combination[pos] < term_paths[pos].len() {
@@ -595,7 +718,8 @@ impl SedaEngine {
         chosen: &[PathId],
         connections: &[Connection],
         table: &mut QueryResultTable,
-    ) {
+        scratch: &mut SearchScratch,
+    ) -> Result<(), SedaError> {
         // All chosen contexts must share the same root label to form a single
         // twig; otherwise fall back to graph enumeration.
         let path_strings: Vec<String> =
@@ -609,17 +733,20 @@ impl SedaEngine {
         let rows: Vec<Vec<NodeId>> = if same_root {
             self.twig_rows(query, &path_strings)
         } else {
-            self.graph_rows(query, chosen)
+            self.graph_rows(query, chosen, scratch)?
         };
 
         for nodes in rows {
-            if !connections.is_empty() && !self.row_satisfies_connections(&nodes, connections) {
+            if !connections.is_empty()
+                && !self.row_satisfies_connections(&nodes, connections, scratch)
+            {
                 continue;
             }
             let row: Vec<(NodeId, PathId)> =
                 nodes.iter().zip(chosen.iter()).map(|(&n, &p)| (n, p)).collect();
             table.rows.push(row);
         }
+        Ok(())
     }
 
     /// Structural evaluation: builds one twig from the chosen context paths
@@ -671,7 +798,17 @@ impl SedaEngine {
 
     /// Fallback evaluation when the chosen contexts span different document
     /// roots: per-term candidate nodes joined by data-graph connectivity.
-    fn graph_rows(&self, query: &SedaQuery, chosen: &[PathId]) -> Vec<Vec<NodeId>> {
+    /// Fails with [`SedaError::Limit`] instead of clipping when the join's
+    /// intermediate partial-tuple frontier reaches
+    /// [`EngineConfig::complete_result_limit`] — a resource bound on the
+    /// enumeration itself, reported as such rather than as a final tuple
+    /// count.
+    fn graph_rows(
+        &self,
+        query: &SedaQuery,
+        chosen: &[PathId],
+        scratch: &mut SearchScratch,
+    ) -> Result<Vec<Vec<NodeId>>, SedaError> {
         let candidates: Vec<Vec<NodeId>> = chosen
             .iter()
             .enumerate()
@@ -684,27 +821,32 @@ impl SedaEngine {
             })
             .collect();
         if candidates.iter().any(Vec::is_empty) {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut rows: Vec<Vec<NodeId>> = vec![Vec::new()];
         for term_candidates in &candidates {
             let mut next = Vec::new();
-            'outer: for row in &rows {
+            for row in &rows {
                 for &candidate in term_candidates {
                     let mut extended = row.clone();
                     extended.push(candidate);
                     // Require connectivity with the partial tuple.
                     if extended.len() == 1
-                        || seda_datagraph::is_connected(
+                        || is_connected_with(
                             &self.graph,
+                            scratch.traversal_mut(),
                             &extended,
                             self.config.connection_max_depth,
                         )
                     {
                         next.push(extended);
                     }
-                    if next.len() >= self.config.complete_result_limit {
-                        break 'outer;
+                    if next.len() > self.config.complete_result_limit {
+                        return Err(SedaError::Limit {
+                            what: "graph-join frontier tuples",
+                            limit: self.config.complete_result_limit,
+                            requested: next.len(),
+                        });
                     }
                 }
             }
@@ -713,13 +855,18 @@ impl SedaEngine {
                 break;
             }
         }
-        rows
+        Ok(rows)
     }
 
     /// Checks the selected-connection constraint for one result row: every
     /// pair of nodes whose contexts are the endpoints of some selected
     /// connection must be related by one of the selected signatures.
-    fn row_satisfies_connections(&self, nodes: &[NodeId], connections: &[Connection]) -> bool {
+    fn row_satisfies_connections(
+        &self,
+        nodes: &[NodeId],
+        connections: &[Connection],
+        scratch: &mut SearchScratch,
+    ) -> bool {
         for i in 0..nodes.len() {
             for j in (i + 1)..nodes.len() {
                 let (Ok(pa), Ok(pb)) =
@@ -737,8 +884,9 @@ impl SedaEngine {
                 if relevant.is_empty() {
                     continue;
                 }
-                let Some(hops) = shortest_path(
+                let Some(hops) = shortest_path_with(
                     &self.graph,
+                    scratch.traversal_mut(),
                     nodes[i],
                     nodes[j],
                     self.config.connection_max_depth,
@@ -771,6 +919,43 @@ impl SedaEngine {
         options: &BuildOptions,
     ) -> StarSchemaBuild {
         StarSchemaBuilder::new(&self.collection, &self.registry).build(result, options)
+    }
+
+    /// Evaluates a compiled twig pattern and shapes the matches as a
+    /// [`QueryResultTable`]: one column per output pattern node (labelled
+    /// with the node's root-to-leaf label chain), one row per match.
+    pub(crate) fn twig_table(&self, pattern: &TwigPattern) -> QueryResultTable {
+        let outputs = pattern.output_nodes();
+        let column_names: Vec<String> = outputs
+            .iter()
+            .map(|&node| {
+                let mut labels = Vec::new();
+                let mut current = Some(node);
+                while let Some(idx) = current {
+                    labels.push(pattern.node(idx).label.clone());
+                    current = pattern.node(idx).parent;
+                }
+                labels.reverse();
+                format!("/{}", labels.join("/"))
+            })
+            .collect();
+        let matches = evaluate_twig(&self.collection, pattern);
+        let columns: Vec<Option<usize>> = outputs.iter().map(|&n| matches.column_of(n)).collect();
+        let mut table = QueryResultTable::new(column_names);
+        for row in &matches.rows {
+            let shaped: Option<Vec<(NodeId, PathId)>> = columns
+                .iter()
+                .map(|&c| {
+                    let node = row[c?];
+                    let path = self.collection.context(node).ok()?;
+                    Some((node, path))
+                })
+                .collect();
+            if let Some(shaped) = shaped {
+                table.rows.push(shaped);
+            }
+        }
+        table
     }
 }
 
@@ -892,7 +1077,7 @@ mod tests {
         selections.select(0, vec![name]);
         selections.select(1, vec![tc]);
         selections.select(2, vec![pct]);
-        let result = e.complete_results(&q, &selections, &[]);
+        let result = e.complete_results(&q, &selections, &[]).unwrap();
         // US 2006 has two import items, US 2005 has two: four rows in total
         // (Mexico's document has no import partners and its name is not
         // "United States").
@@ -932,7 +1117,7 @@ mod tests {
             .cloned()
             .collect();
         assert!(!same_item.is_empty());
-        let result = e.complete_results(&q, &selections, &same_item);
+        let result = e.complete_results(&q, &selections, &same_item).unwrap();
         assert_eq!(result.len(), 4);
         for row in &result.rows {
             let tc_node = row[1].0;
@@ -961,7 +1146,7 @@ mod tests {
         selections.select(0, vec![name]);
         selections.select(1, vec![tc]);
         selections.select(2, vec![pct]);
-        let result = e.complete_results(&q, &selections, &[]);
+        let result = e.complete_results(&q, &selections, &[]).unwrap();
         let build = e.build_star_schema(&result, &BuildOptions::default());
         let fact = build.schema.fact("import-trade-percentage").expect("fact table");
         assert_eq!(fact.dimension_columns, vec!["country", "year", "import-country"]);
@@ -1019,8 +1204,8 @@ mod tests {
 
         // Same query, same answers.
         let q = SedaQuery::parse(r#"(/country/name, *) AND (/sea/name, *)"#).unwrap();
-        let seq_result = sequential.complete_results(&q, &ContextSelections::none(), &[]);
-        let par_result = parallel.complete_results(&q, &ContextSelections::none(), &[]);
+        let seq_result = sequential.complete_results(&q, &ContextSelections::none(), &[]).unwrap();
+        let par_result = parallel.complete_results(&q, &ContextSelections::none(), &[]).unwrap();
         assert_eq!(seq_result.rows, par_result.rows);
     }
 
@@ -1079,7 +1264,7 @@ mod tests {
         .unwrap();
         let e = SedaEngine::build(collection, Registry::new(), EngineConfig::default()).unwrap();
         let q = SedaQuery::parse(r#"(/country/name, *) AND (/sea/name, *)"#).unwrap();
-        let result = e.complete_results(&q, &ContextSelections::none(), &[]);
+        let result = e.complete_results(&q, &ContextSelections::none(), &[]).unwrap();
         assert_eq!(result.len(), 1, "country and sea are connected via the IDREF edge");
         let contents: Vec<String> =
             result.rows[0].iter().map(|(n, _)| e.collection().content(*n).unwrap()).collect();

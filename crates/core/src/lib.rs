@@ -18,8 +18,21 @@
 //! unit), [`seda_twigjoin`] (complete-result twig evaluation) and
 //! [`seda_olap`] (facts, dimensions, star schemas, cubes).
 //!
+//! # The unified query facade
+//!
+//! Every trip through the Fig. 4 pipeline is one **request → plan →
+//! response** lifecycle: a [`SedaRequest`] (built fluently or parsed from
+//! the textual front-end) is compiled by the planner into a [`QueryPlan`]
+//! (inspectable via [`QueryPlan::explain`]) and executed into a
+//! [`SedaResponse`] carrying the statement-shaped payload plus a unified
+//! [`ExecProfile`].  Execution runs through per-thread [`SedaReader`]
+//! handles that own their scratch buffers, so concurrent queries never
+//! contend on shared engine state; [`SedaEngine::execute_batch`] fans a
+//! batch of requests across a reader pool.  All errors share the
+//! [`SedaError`] taxonomy.
+//!
 //! ```
-//! use seda_core::{EngineConfig, SedaEngine, Session};
+//! use seda_core::{EngineConfig, SedaEngine, SedaSession};
 //! use seda_olap::{BuildOptions, Registry};
 //! use seda_xmlstore::parse_collection;
 //!
@@ -30,7 +43,16 @@
 //!        </import_partners></economy></country>"#)]).unwrap();
 //! let engine = SedaEngine::build(collection, Registry::factbook_defaults(),
 //!                                EngineConfig::default()).unwrap();
-//! let mut session = Session::new(&engine);
+//!
+//! // One textual request runs the whole pipeline through a reader handle.
+//! let mut reader = engine.reader();
+//! let response = reader.execute_text(
+//!     r#"CUBE import-trade-percentage BY import-country AGG sum
+//!        FOR (*, "United States") AND (trade_country, *) AND (percentage, *)"#).unwrap();
+//! assert!(response.cube().unwrap().cell(&["China"]).is_some());
+//!
+//! // The stateful session drives the same facade interactively.
+//! let mut session = SedaSession::new(&engine);
 //! session.submit_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#).unwrap();
 //! let build = session.build_cube(&BuildOptions::default()).unwrap();
 //! assert!(build.schema.fact("import-trade-percentage").is_some());
@@ -40,14 +62,24 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod parallel;
+pub mod plan;
 pub mod query;
+pub mod reader;
+pub mod request;
+pub mod response;
 pub mod session;
 pub mod summaries;
 
 pub use engine::{BuildProfile, EngineConfig, PhaseProfile, QueryProfile, SedaEngine};
+pub use error::SedaError;
+pub use plan::{PlanStep, QueryPlan};
 pub use query::{ContextSpec, QueryError, QueryTerm, SedaQuery};
-pub use session::{Session, SessionStage};
+pub use reader::SedaReader;
+pub use request::{RequestBuilder, SedaRequest, Statement};
+pub use response::{ExecProfile, ResponsePayload, SedaResponse};
+pub use session::{SedaSession, Session, SessionStage};
 pub use summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
 
 // Re-export the crates a downstream application typically needs alongside the

@@ -63,6 +63,54 @@ where
     slots.into_iter().map(|s| s.expect("every shard produced")).collect()
 }
 
+/// Like [`parallel_map`], but every worker thread first creates its own
+/// state via `init` and threads it through all items it processes.
+///
+/// This is the primitive behind [`crate::SedaEngine::execute_batch`]: `init`
+/// builds one [`crate::SedaReader`] per worker, so concurrent requests reuse
+/// per-thread scratch buffers without any shared locking.  With
+/// `threads <= 1` (or one item) the map runs inline over a single state.
+pub fn parallel_map_with<T, S, C, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<S>
+where
+    T: Sync,
+    S: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, &T) -> S + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<S>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, S)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, f(&mut state, &items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, value) in handle.join().expect("batch worker panicked") {
+                slots[index] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every item produced")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +138,39 @@ mod tests {
     fn effective_parallelism_resolves_auto() {
         assert!(effective_parallelism(0) >= 1);
         assert_eq!(effective_parallelism(3), 3);
+    }
+
+    #[test]
+    fn map_with_threads_per_worker_state() {
+        let items: Vec<usize> = (0..100).collect();
+        // Each worker counts how many items it processed through its own
+        // state; results must still be in item order.
+        let out = parallel_map_with(
+            &items,
+            4,
+            || 0usize,
+            |seen, &x| {
+                *seen += 1;
+                (x * 2, *seen)
+            },
+        );
+        let values: Vec<usize> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        assert!(out.iter().all(|&(_, seen)| seen >= 1));
+    }
+
+    #[test]
+    fn map_with_runs_inline_on_one_thread() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map_with(
+            &items,
+            1,
+            || 10,
+            |acc, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(out, vec![11, 13, 16], "one state threads through all items in order");
     }
 }

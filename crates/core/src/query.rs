@@ -31,14 +31,16 @@ pub enum ContextSpec {
 impl ContextSpec {
     /// Parses the textual context component: `*` (any), `/a/b/c` (path),
     /// `a|b` (disjunction), anything else (tag name, possibly with `*`
-    /// wildcards).
+    /// wildcards).  Disjunctions are normalised through
+    /// [`ContextSpec::disjunction`], so `a|b|c` parses to one flat 3-way
+    /// disjunction, never nested pairs.
     pub fn parse(input: &str) -> Self {
         let trimmed = input.trim();
         if trimmed.is_empty() || trimmed == "*" {
             return ContextSpec::Any;
         }
         if trimmed.contains('|') {
-            return ContextSpec::Disjunction(trimmed.split('|').map(ContextSpec::parse).collect());
+            return ContextSpec::disjunction(trimmed.split('|').map(ContextSpec::parse).collect());
         }
         if trimmed.starts_with('/') {
             ContextSpec::Path(trimmed.to_string())
@@ -47,39 +49,73 @@ impl ContextSpec {
         }
     }
 
+    /// Normalising disjunction constructor: nested disjunctions are
+    /// flattened, duplicates removed (keeping first occurrence), an
+    /// unrestricted alternative absorbs the whole disjunction, and a
+    /// single-alternative disjunction collapses to that alternative.
+    pub fn disjunction(specs: Vec<ContextSpec>) -> ContextSpec {
+        fn flatten(spec: ContextSpec, out: &mut Vec<ContextSpec>) {
+            match spec {
+                ContextSpec::Disjunction(inner) => {
+                    for s in inner {
+                        flatten(s, out);
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        let mut flat = Vec::new();
+        for spec in specs {
+            flatten(spec, &mut flat);
+        }
+        if flat.iter().any(ContextSpec::is_any) {
+            return ContextSpec::Any;
+        }
+        let mut deduped: Vec<ContextSpec> = Vec::with_capacity(flat.len());
+        for spec in flat {
+            if !deduped.contains(&spec) {
+                deduped.push(spec);
+            }
+        }
+        match deduped.len() {
+            0 => ContextSpec::Any,
+            1 => deduped.pop().expect("len checked"),
+            _ => ContextSpec::Disjunction(deduped),
+        }
+    }
+
     /// True when the spec places no restriction at all.
     pub fn is_any(&self) -> bool {
         matches!(self, ContextSpec::Any)
     }
 
+    /// Glob matching for tag-name patterns, anchored at both ends: the text
+    /// before the first `*` must be a prefix of `name`, the text after the
+    /// last `*` must be a suffix of what remains after matching every middle
+    /// piece left-to-right.
     fn tag_matches(pattern: &str, name: &str) -> bool {
         if !pattern.contains('*') {
             return pattern == name;
         }
-        // Simple glob: split on '*' and check the pieces appear in order,
-        // anchored at both ends.
         let pieces: Vec<&str> = pattern.split('*').collect();
-        let mut rest = name;
-        for (i, piece) in pieces.iter().enumerate() {
+        let (first, tail) = pieces.split_first().expect("split yields at least one piece");
+        let Some(mut rest) = name.strip_prefix(first) else {
+            return false;
+        };
+        let (last, middle) = tail.split_last().expect("pattern contains '*'");
+        for piece in middle {
             if piece.is_empty() {
                 continue;
             }
             match rest.find(piece) {
-                Some(pos) => {
-                    if i == 0 && pos != 0 {
-                        return false;
-                    }
-                    rest = &rest[pos + piece.len()..];
-                }
+                Some(pos) => rest = &rest[pos + piece.len()..],
                 None => return false,
             }
         }
-        if let Some(last) = pieces.last() {
-            if !last.is_empty() && !name.ends_with(last) {
-                return false;
-            }
-        }
-        true
+        // End anchor: the final piece must be a suffix of the *remaining*
+        // text (not merely of `name`, which could overlap already-consumed
+        // characters).
+        rest.ends_with(last)
     }
 
     /// Definition 3(2): does a node with the given name and context satisfy
@@ -151,27 +187,45 @@ pub struct QueryTerm {
     pub search: FullTextQuery,
 }
 
+impl std::fmt::Display for ContextSpec {
+    /// Renders the spec in the textual syntax accepted by
+    /// [`ContextSpec::parse`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContextSpec::Any => write!(f, "*"),
+            ContextSpec::Path(p) => write!(f, "{p}"),
+            ContextSpec::Tag(t) => write!(f, "{t}"),
+            ContextSpec::Disjunction(ds) => {
+                for (i, d) in ds.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 impl QueryTerm {
     /// Creates a term from components.
     pub fn new(context: ContextSpec, search: FullTextQuery) -> Self {
         QueryTerm { context, search }
     }
 
-    /// A human-readable label, used as column name in R(q).
+    /// A human-readable label, used as column name in R(q); identical to the
+    /// term's canonical textual form.
     pub fn label(&self) -> String {
-        let context = match &self.context {
-            ContextSpec::Any => "*".to_string(),
-            ContextSpec::Path(p) => p.clone(),
-            ContextSpec::Tag(t) => t.clone(),
-            ContextSpec::Disjunction(ds) => format!("{} alternatives", ds.len()),
-        };
-        let search = match &self.search {
-            FullTextQuery::Any => "*".to_string(),
-            FullTextQuery::Keywords(ks) => ks.join(" "),
-            FullTextQuery::Phrase(ps) => format!("\"{}\"", ps.join(" ")),
-            other => format!("{other:?}"),
-        };
-        format!("({context}, {search})")
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for QueryTerm {
+    /// Renders the term as `(context, search)`, reparseable by
+    /// [`SedaQuery::parse`].
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.context, self.search)
     }
 }
 
@@ -211,7 +265,9 @@ impl SedaQuery {
     /// Parses the paper-style notation
     /// `(context, search) AND (context, search) …` (the `∧` character is also
     /// accepted).  The search component follows the
-    /// [`FullTextQuery::parse`] syntax.
+    /// [`FullTextQuery::parse`] syntax; parentheses inside a search component
+    /// nest (`(name, (china OR canada) AND NOT mexico)`) and quoted phrases
+    /// may contain parentheses.
     pub fn parse(input: &str) -> Result<Self, QueryError> {
         let normalised = input.replace('∧', "AND");
         let mut terms = Vec::new();
@@ -220,8 +276,8 @@ impl SedaQuery {
             if !rest.starts_with('(') {
                 return Err(QueryError::Malformed(format!("expected '(' at {rest:?}")));
             }
-            let close =
-                rest.find(')').ok_or_else(|| QueryError::Malformed("missing ')'".to_string()))?;
+            let close = Self::matching_close(rest)
+                .ok_or_else(|| QueryError::Malformed("missing ')'".to_string()))?;
             let inside = &rest[1..close];
             let comma = inside
                 .find(',')
@@ -247,6 +303,28 @@ impl SedaQuery {
         Ok(SedaQuery::new(terms))
     }
 
+    /// Index of the `)` closing the `(` that `text` starts with, respecting
+    /// nested parentheses and double-quoted phrases.
+    fn matching_close(text: &str) -> Option<usize> {
+        debug_assert!(text.starts_with('('));
+        let mut depth = 0usize;
+        let mut in_quotes = false;
+        for (i, c) in text.char_indices() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                '(' if !in_quotes => depth += 1,
+                ')' if !in_quotes => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
     /// Number of query terms.
     pub fn len(&self) -> usize {
         self.terms.len()
@@ -255,6 +333,21 @@ impl SedaQuery {
     /// True when the query has no terms.
     pub fn is_empty(&self) -> bool {
         self.terms.is_empty()
+    }
+}
+
+impl std::fmt::Display for SedaQuery {
+    /// Renders the query in the canonical textual form accepted by
+    /// [`SedaQuery::parse`]: `parse(&q.to_string())` reproduces `q` for every
+    /// query built from parseable components.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, term) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{term}")?;
+        }
+        Ok(())
     }
 }
 
@@ -354,6 +447,85 @@ mod tests {
         assert!(!ContextSpec::tag_matches("trade", "trade_country"));
         assert!(!ContextSpec::tag_matches("x*", "trade_country"));
         assert!(ContextSpec::tag_matches("*", "anything"));
+    }
+
+    #[test]
+    fn tag_wildcards_are_anchored_at_both_ends() {
+        // Start anchor: the text before the first '*' must be a prefix.
+        assert!(!ContextSpec::tag_matches("trade*", "xtrade_country"));
+        // End anchor: the text after the last '*' must be a suffix.
+        assert!(!ContextSpec::tag_matches("*country", "trade_country_x"));
+        // The suffix must live in the text remaining after the middle pieces
+        // matched; an earlier overlapping occurrence does not count.
+        assert!(!ContextSpec::tag_matches("ab*b", "ab"));
+        assert!(ContextSpec::tag_matches("ab*b", "abb"));
+        assert!(ContextSpec::tag_matches("a*b*c", "a_b_c"));
+        assert!(!ContextSpec::tag_matches("a*b*c", "a_c_b"));
+        // Adjacent stars collapse; a pattern built only of stars matches all.
+        assert!(ContextSpec::tag_matches("a**c", "abc"));
+        assert!(ContextSpec::tag_matches("**", "anything"));
+        // A star-free pattern is an exact match.
+        assert!(ContextSpec::tag_matches("name", "name"));
+        assert!(!ContextSpec::tag_matches("name", "names"));
+    }
+
+    #[test]
+    fn disjunctions_parse_flat_never_nested() {
+        match ContextSpec::parse("a|b|c") {
+            ContextSpec::Disjunction(ds) => {
+                assert_eq!(ds.len(), 3, "a|b|c must be one 3-way disjunction");
+                assert!(
+                    ds.iter().all(|d| !matches!(d, ContextSpec::Disjunction(_))),
+                    "no nested pairs: {ds:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Programmatic nesting flattens through the normalising constructor.
+        let nested = ContextSpec::disjunction(vec![
+            ContextSpec::Disjunction(vec![
+                ContextSpec::Tag("a".into()),
+                ContextSpec::Tag("b".into()),
+            ]),
+            ContextSpec::Tag("c".into()),
+        ]);
+        assert_eq!(nested, ContextSpec::parse("a|b|c"));
+        // An unrestricted alternative absorbs the disjunction.
+        assert_eq!(ContextSpec::parse("a|*|b"), ContextSpec::Any);
+        // Duplicates collapse; singletons unwrap.
+        assert_eq!(ContextSpec::parse("a|a"), ContextSpec::Tag("a".into()));
+        assert_eq!(
+            ContextSpec::disjunction(vec![ContextSpec::Path("/a/b".into())]),
+            ContextSpec::Path("/a/b".into())
+        );
+    }
+
+    #[test]
+    fn query_display_round_trips() {
+        for text in [
+            r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
+            r#"(/country/name, "Romania") AND (/country/year, 2006)"#,
+            "(name, (china OR canada) AND NOT mexico)",
+            "(a|b|/c/d, x y z)",
+        ] {
+            let parsed = SedaQuery::parse(text).unwrap();
+            let rendered = parsed.to_string();
+            assert_eq!(
+                SedaQuery::parse(&rendered).unwrap(),
+                parsed,
+                "display of {text:?} must reparse identically (got {rendered:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_parens_in_search_components_parse() {
+        let q = SedaQuery::parse("(name, (china OR canada) AND NOT mexico) AND (year, *)").unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.terms[0].search, FullTextQuery::And(_, _)));
+        // A quoted phrase may contain parentheses.
+        let q = SedaQuery::parse(r#"(name, "korea (south)")"#).unwrap();
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

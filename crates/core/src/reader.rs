@@ -1,0 +1,386 @@
+//! Per-thread reader handles: the contention-free execution surface of the
+//! query facade.
+//!
+//! A [`SedaReader`] is a cheap handle over a shared [`SedaEngine`] that owns
+//! its own [`SearchScratch`] (posting-list buffers, candidate arenas, BFS
+//! scratch).  Every query a reader executes reuses that scratch, so N
+//! threads holding N readers serve queries fully in parallel without ever
+//! touching the engine's shared mutex — the reader-handle discipline that
+//! keeps per-reader state small and reusable.
+//!
+//! ```
+//! use seda_core::{EngineConfig, SedaEngine, SedaRequest};
+//! use seda_olap::Registry;
+//! use seda_xmlstore::parse_collection;
+//!
+//! let collection = parse_collection(vec![("us.xml",
+//!     r#"<country><name>United States</name><year>2006</year></country>"#)]).unwrap();
+//! let engine = SedaEngine::build(collection, Registry::new(), EngineConfig::default()).unwrap();
+//! let mut reader = engine.reader();
+//! let response = reader.execute_text(r#"TOPK 5 FOR (name, "United States")"#).unwrap();
+//! assert_eq!(response.top_k().unwrap().tuples.len(), 1);
+//! ```
+
+use std::time::Instant;
+
+use seda_olap::{aggregate, CubeQuery};
+use seda_topk::{SearchScratch, TopKResult};
+
+use crate::engine::SedaEngine;
+use crate::error::SedaError;
+use crate::parallel::{effective_parallelism, parallel_map_with};
+use crate::plan::QueryPlan;
+use crate::query::SedaQuery;
+use crate::request::{SedaRequest, Statement};
+use crate::response::{ExecProfile, ResponsePayload, SedaResponse};
+use crate::summaries::{ConnectionSummary, ContextSelections, ContextSummary};
+
+/// A per-thread query handle owning its own scratch buffers.
+pub struct SedaReader<'e> {
+    engine: &'e SedaEngine,
+    scratch: SearchScratch,
+}
+
+impl SedaEngine {
+    /// Creates a reader handle for this engine.
+    ///
+    /// Readers are cheap (buffers grow lazily to their working size) and
+    /// never contend: each owns its scratch, so one reader per thread serves
+    /// concurrent queries without blocking on the engine's shared state.
+    pub fn reader(&self) -> SedaReader<'_> {
+        SedaReader { engine: self, scratch: SearchScratch::new() }
+    }
+
+    /// Plans and executes a batch of requests, fanning them across a pool of
+    /// reader handles (`parallelism` as in [`crate::EngineConfig`]: `0` =
+    /// auto, `1` = inline, `n` = `n` workers).  Results are returned in
+    /// request order; each request fails or succeeds independently.
+    pub fn execute_batch(
+        &self,
+        requests: &[SedaRequest],
+        parallelism: usize,
+    ) -> Vec<Result<SedaResponse, SedaError>> {
+        let threads = effective_parallelism(parallelism).max(1);
+        parallel_map_with(
+            requests,
+            threads,
+            || self.reader(),
+            |reader, request| reader.execute(request),
+        )
+    }
+}
+
+impl<'e> SedaReader<'e> {
+    /// The engine this reader serves.
+    pub fn engine(&self) -> &'e SedaEngine {
+        self.engine
+    }
+
+    /// Plans a request without executing it (delegates to
+    /// [`SedaEngine::plan`]).
+    pub fn plan(&self, request: &SedaRequest) -> Result<QueryPlan, SedaError> {
+        self.engine.plan(request)
+    }
+
+    /// Plans a request and returns the plan transcript.
+    pub fn explain(&self, request: &SedaRequest) -> Result<String, SedaError> {
+        Ok(self.engine.plan(request)?.explain())
+    }
+
+    /// Parses and executes a textual request.
+    pub fn execute_text(&mut self, text: &str) -> Result<SedaResponse, SedaError> {
+        let request = SedaRequest::parse(text)?;
+        self.execute(&request)
+    }
+
+    /// Plans and executes a request through this reader's scratch.
+    ///
+    /// An `EXPLAIN` request stops after planning and returns the transcript
+    /// as [`ResponsePayload::Explain`].
+    pub fn execute(&mut self, request: &SedaRequest) -> Result<SedaResponse, SedaError> {
+        let plan_start = Instant::now();
+        let plan = self.engine.plan(request)?;
+        let plan_secs = plan_start.elapsed().as_secs_f64();
+        if request.explain {
+            let mut profile = ExecProfile { plan_secs, ..ExecProfile::default() };
+            let payload = ResponsePayload::Explain(plan.explain());
+            profile.rows = payload.rows();
+            return Ok(SedaResponse { payload, profile });
+        }
+        let mut response = self.execute_plan(&plan)?;
+        response.profile.plan_secs = plan_secs;
+        Ok(response)
+    }
+
+    /// Executes an already-planned request.
+    pub fn execute_plan(&mut self, plan: &QueryPlan) -> Result<SedaResponse, SedaError> {
+        let exec_start = Instant::now();
+        let mut profile = ExecProfile::default();
+        let payload = match &plan.statement {
+            Statement::TopK { k } => {
+                let (result, _) =
+                    self.engine.search_terms(&plan.term_inputs, *k, &mut self.scratch);
+                profile.absorb(&result.stats);
+                ResponsePayload::TopK(result)
+            }
+            Statement::ContextSummary => {
+                let query = plan.query.as_ref().expect("planner requires a query");
+                ResponsePayload::Contexts(self.engine.context_summary(query))
+            }
+            Statement::ConnectionSummary { k } => {
+                let (top_k, _) = self.engine.search_terms(&plan.term_inputs, *k, &mut self.scratch);
+                profile.absorb(&top_k.stats);
+                let summary = self.engine.connection_summary(&top_k);
+                ResponsePayload::Connections { top_k, summary }
+            }
+            Statement::CompleteResults => {
+                let query = plan.query.as_ref().expect("planner requires a query");
+                let table = self.engine.complete_results_scratch(
+                    query,
+                    &plan.selections,
+                    &plan.connections,
+                    &mut self.scratch,
+                )?;
+                ResponsePayload::Table(table)
+            }
+            Statement::Twig { .. } => {
+                let pattern = plan.pattern.as_ref().expect("planner compiles twig statements");
+                ResponsePayload::Table(self.engine.twig_table(pattern))
+            }
+            Statement::Cube { fact, group_by, agg, measure } => {
+                let query = plan.query.as_ref().expect("planner requires a query");
+                let table = self.engine.complete_results_scratch(
+                    query,
+                    &plan.selections,
+                    &plan.connections,
+                    &mut self.scratch,
+                )?;
+                let build = self.engine.build_star_schema(&table, &plan.cube_options);
+                let fact_table =
+                    build.schema.fact(fact).ok_or_else(|| SedaError::UnknownFact(fact.clone()))?;
+                let measure = measure.clone().unwrap_or_else(|| fact.clone());
+                let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+                let cube_query = CubeQuery::sum(&group_refs, &measure).with_agg(*agg);
+                let cube = aggregate(fact_table, &cube_query)?;
+                ResponsePayload::Cube { build, cube }
+            }
+        };
+        profile.exec_secs = exec_start.elapsed().as_secs_f64();
+        profile.rows = payload.rows();
+        Ok(SedaResponse { payload, profile })
+    }
+
+    // ----- typed helpers (the surface `SedaSession` composes) -----
+
+    /// Top-k search through this reader's scratch; never contends.
+    pub fn top_k(
+        &mut self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        k: usize,
+    ) -> (TopKResult, ExecProfile) {
+        let (result, query_profile) =
+            self.engine.top_k_scratch(query, selections, k, &mut self.scratch);
+        let mut profile =
+            ExecProfile { exec_secs: query_profile.wall_secs, ..ExecProfile::default() };
+        profile.absorb(&result.stats);
+        profile.rows = result.tuples.len();
+        (result, profile)
+    }
+
+    /// Context summary of a query (read-only, no scratch needed).
+    pub fn context_summary(&self, query: &SedaQuery) -> ContextSummary {
+        self.engine.context_summary(query)
+    }
+
+    /// Connection summary of an existing top-k result.
+    pub fn connection_summary(&mut self, top_k: &TopKResult) -> ConnectionSummary {
+        self.engine.connection_summary(top_k)
+    }
+
+    /// Complete result set R(q) through this reader's scratch.
+    pub fn complete_results(
+        &mut self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        connections: &[seda_dataguide::Connection],
+    ) -> Result<seda_olap::QueryResultTable, SedaError> {
+        self.engine.complete_results_scratch(query, selections, connections, &mut self.scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use seda_olap::Registry;
+    use seda_xmlstore::parse_collection;
+
+    fn engine() -> SedaEngine {
+        let collection = parse_collection(vec![
+            (
+                "us2006.xml",
+                r#"<country><name>United States</name><year>2006</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                       <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+            (
+                "us2005.xml",
+                r#"<country><name>United States</name><year>2005</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>13.8</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+        ])
+        .unwrap();
+        SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn reader_executes_every_statement_shape() {
+        let e = engine();
+        let mut reader = e.reader();
+        let q = r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#;
+
+        let topk = reader.execute_text(&format!("TOPK 5 FOR {q}")).unwrap();
+        assert!(!topk.top_k().unwrap().tuples.is_empty());
+        assert!(topk.profile.sorted_accesses > 0);
+        assert_eq!(topk.profile.rows, topk.top_k().unwrap().tuples.len());
+
+        let contexts = reader.execute_text(&format!("CONTEXTS FOR {q}")).unwrap();
+        assert_eq!(contexts.contexts().unwrap().buckets.len(), 3);
+
+        let connections = reader.execute_text(&format!("CONNECTIONS 5 FOR {q}")).unwrap();
+        assert!(!connections.connections().unwrap().is_empty());
+
+        let results = reader
+            .execute_text(&format!(
+                "RESULTS FOR {q} WITH 0 IN /country/name \
+                 WITH 1 IN /country/economy/import_partners/item/trade_country \
+                 WITH 2 IN /country/economy/import_partners/item/percentage"
+            ))
+            .unwrap();
+        assert_eq!(results.table().unwrap().len(), 3);
+
+        let twig = reader.execute_text("TWIG /country/economy//trade_country").unwrap();
+        assert_eq!(twig.table().unwrap().len(), 3);
+
+        let cube = reader
+            .execute_text(&format!(
+                "CUBE import-trade-percentage BY import-country AGG sum FOR {q} \
+                 WITH 0 IN /country/name \
+                 WITH 1 IN /country/economy/import_partners/item/trade_country \
+                 WITH 2 IN /country/economy/import_partners/item/percentage"
+            ))
+            .unwrap();
+        let china = cube.cube().unwrap().cell(&["China"]).unwrap();
+        assert!((china.value - (15.0 + 13.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_zero_is_honoured_literally() {
+        let e = engine();
+        let mut reader = e.reader();
+        let response = reader.execute_text("TOPK 0 FOR (trade_country, *)").unwrap();
+        assert!(response.top_k().unwrap().tuples.is_empty(), "k=0 must yield no tuples");
+        let q = SedaQuery::parse("(trade_country, *)").unwrap();
+        assert!(e.top_k(&q, &ContextSelections::none(), 0).tuples.is_empty());
+    }
+
+    #[test]
+    fn complete_result_limit_errors_with_typed_limit() {
+        let collection = parse_collection(vec![(
+            "us.xml",
+            r#"<country><name>United States</name><year>2006</year>
+                 <economy><import_partners>
+                   <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                   <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                 </import_partners></economy></country>"#,
+        )])
+        .unwrap();
+        let e = SedaEngine::build(
+            collection,
+            Registry::factbook_defaults(),
+            EngineConfig { complete_result_limit: 1, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let mut reader = e.reader();
+        // Two distinct trade_country rows exceed the limit of 1 even after
+        // deduplication → a typed Limit error, never a silent clip.
+        let err = reader
+            .execute_text(
+                "RESULTS FOR (trade_country, *) \
+                 WITH 0 IN /country/economy/import_partners/item/trade_country",
+            )
+            .unwrap_err();
+        assert!(matches!(err, SedaError::Limit { what: "complete-result tuples", .. }), "{err}");
+        // A query that fits the limit still succeeds.
+        let response = reader.execute_text(r#"RESULTS FOR (trade_country, "China")"#).unwrap();
+        assert_eq!(response.table().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn explain_requests_return_the_transcript() {
+        let e = engine();
+        let mut reader = e.reader();
+        let response = reader.execute_text("EXPLAIN TOPK 5 FOR (name, *)").unwrap();
+        let transcript = response.explain_transcript().unwrap();
+        assert!(transcript.contains("plan: TOPK"), "{transcript}");
+        assert!(transcript.contains("threshold-algorithm rank join"), "{transcript}");
+    }
+
+    #[test]
+    fn readers_never_touch_the_shared_engine_scratch() {
+        let e = engine();
+        let before = e.shared_scratch_queries();
+        let mut reader = e.reader();
+        for _ in 0..5 {
+            reader.execute_text("TOPK 5 FOR (trade_country, *)").unwrap();
+            reader.execute_text("RESULTS FOR (trade_country, *) AND (percentage, *)").unwrap();
+        }
+        assert_eq!(
+            e.shared_scratch_queries(),
+            before,
+            "reader-handle queries must bypass the engine's shared scratch mutex"
+        );
+        // The legacy convenience path does count.
+        let q = SedaQuery::parse("(trade_country, *)").unwrap();
+        let _ = e.top_k(&q, &ContextSelections::none(), 3);
+        assert_eq!(e.shared_scratch_queries(), before + 1);
+    }
+
+    #[test]
+    fn unknown_fact_surfaces_as_typed_error() {
+        let e = engine();
+        let mut reader = e.reader();
+        let err = reader
+            .execute_text("CUBE nonexistent BY x FOR (*, \"United States\") AND (percentage, *)")
+            .unwrap_err();
+        assert_eq!(err, SedaError::UnknownFact("nonexistent".into()));
+    }
+
+    #[test]
+    fn execute_batch_matches_sequential_execution() {
+        let e = engine();
+        let texts = [
+            "TOPK 5 FOR (trade_country, *)",
+            "CONTEXTS FOR (percentage, *)",
+            "CONNECTIONS 5 FOR (trade_country, *) AND (percentage, *)",
+            "TWIG /country/name",
+        ];
+        let requests: Vec<SedaRequest> =
+            texts.iter().map(|t| SedaRequest::parse(t).unwrap()).collect();
+        let mut reader = e.reader();
+        let sequential: Vec<SedaResponse> =
+            requests.iter().map(|r| reader.execute(r).unwrap()).collect();
+        let batched = e.execute_batch(&requests, 4);
+        assert_eq!(batched.len(), sequential.len());
+        for (seq, bat) in sequential.iter().zip(batched) {
+            let bat = bat.unwrap();
+            assert_eq!(seq.payload, bat.payload, "batch payload must match sequential");
+        }
+    }
+}

@@ -1,13 +1,19 @@
 //! The interactive exploration session (Fig. 6 control flow).
 //!
-//! A [`Session`] drives the paper's feedback loop programmatically, standing
-//! in for the GUI of Fig. 5/7:
+//! A [`SedaSession`] drives the paper's feedback loop programmatically,
+//! standing in for the GUI of Fig. 5/7:
 //!
 //! 1. submit a keyword-style query → top-k results + context summary,
 //! 2. optionally select contexts per term → top-k recomputed,
 //! 3. inspect the connection summary → optionally select connections,
 //! 4. compute the complete result set,
 //! 5. derive the star schema and aggregate it into cubes.
+//!
+//! The session is a thin stateful shell over the unified facade: it owns a
+//! [`crate::SedaReader`] (so repeated queries reuse one scratch and never
+//! contend on the engine), and every stage-dependent operation returns a
+//! typed [`SedaError`] — stage misuse is [`SedaError::Stage`], never a bare
+//! `None`.
 
 use seda_dataguide::Connection;
 use seda_olap::{
@@ -17,7 +23,10 @@ use seda_topk::TopKResult;
 use seda_xmlstore::PathId;
 
 use crate::engine::SedaEngine;
+use crate::error::SedaError;
 use crate::query::SedaQuery;
+use crate::reader::SedaReader;
+use crate::response::ExecProfile;
 use crate::summaries::{ConnectionSummary, ContextSelections, ContextSummary};
 
 /// Where the session currently stands in the Fig. 6 control flow.
@@ -34,8 +43,8 @@ pub enum SessionStage {
 }
 
 /// One interactive exploration session over a [`SedaEngine`].
-pub struct Session<'a> {
-    engine: &'a SedaEngine,
+pub struct SedaSession<'a> {
+    reader: SedaReader<'a>,
     query: Option<SedaQuery>,
     selections: ContextSelections,
     chosen_connections: Vec<Connection>,
@@ -44,15 +53,19 @@ pub struct Session<'a> {
     connection_summary: Option<ConnectionSummary>,
     complete: Option<QueryResultTable>,
     star_schema: Option<StarSchemaBuild>,
+    last_profile: Option<ExecProfile>,
     k: usize,
     stage: SessionStage,
 }
 
-impl<'a> Session<'a> {
+/// Backwards-compatible alias for [`SedaSession`].
+pub type Session<'a> = SedaSession<'a>;
+
+impl<'a> SedaSession<'a> {
     /// Opens a session over an engine.
     pub fn new(engine: &'a SedaEngine) -> Self {
-        Session {
-            engine,
+        SedaSession {
+            reader: engine.reader(),
             query: None,
             selections: ContextSelections::none(),
             chosen_connections: Vec::new(),
@@ -61,14 +74,15 @@ impl<'a> Session<'a> {
             connection_summary: None,
             complete: None,
             star_schema: None,
+            last_profile: None,
             k: engine.config().topk.k,
             stage: SessionStage::Empty,
         }
     }
 
     /// The engine the session runs over.
-    pub fn engine(&self) -> &SedaEngine {
-        self.engine
+    pub fn engine(&self) -> &'a SedaEngine {
+        self.reader.engine()
     }
 
     /// Current stage in the control flow.
@@ -81,27 +95,37 @@ impl<'a> Session<'a> {
         self.k = k.max(1);
     }
 
+    /// The [`ExecProfile`] of the last search the session ran, if any.
+    pub fn last_profile(&self) -> Option<&ExecProfile> {
+        self.last_profile.as_ref()
+    }
+
+    fn stage_error(&self, operation: &'static str, required: &'static str) -> SedaError {
+        SedaError::Stage { operation, required, stage: self.stage }
+    }
+
     /// Submits (or replaces) the query: computes top-k results, the context
     /// summary and the connection summary.  Any earlier refinements are
     /// cleared.
-    pub fn submit(&mut self, query: SedaQuery) -> &TopKResult {
+    pub fn submit(&mut self, query: SedaQuery) -> Result<&TopKResult, SedaError> {
         self.selections = ContextSelections::none();
         self.chosen_connections.clear();
         self.complete = None;
         self.star_schema = None;
-        self.context_summary = Some(self.engine.context_summary(&query));
-        let top_k = self.engine.top_k(&query, &self.selections, self.k);
-        self.connection_summary = Some(self.engine.connection_summary(&top_k));
+        self.context_summary = Some(self.reader.context_summary(&query));
+        let (top_k, profile) = self.reader.top_k(&query, &self.selections, self.k);
+        self.connection_summary = Some(self.reader.connection_summary(&top_k));
+        self.last_profile = Some(profile);
         self.top_k = Some(top_k);
         self.query = Some(query);
         self.stage = SessionStage::Explored;
-        self.top_k.as_ref().expect("just set")
+        Ok(self.top_k.as_ref().expect("just set"))
     }
 
     /// Parses and submits a textual query.
-    pub fn submit_text(&mut self, query: &str) -> Result<&TopKResult, crate::query::QueryError> {
+    pub fn submit_text(&mut self, query: &str) -> Result<&TopKResult, SedaError> {
         let parsed = SedaQuery::parse(query)?;
-        Ok(self.submit(parsed))
+        self.submit(parsed)
     }
 
     /// The current query, if any.
@@ -110,18 +134,22 @@ impl<'a> Session<'a> {
     }
 
     /// The latest top-k result.
-    pub fn top_k(&self) -> Option<&TopKResult> {
-        self.top_k.as_ref()
+    pub fn top_k(&self) -> Result<&TopKResult, SedaError> {
+        self.top_k.as_ref().ok_or_else(|| self.stage_error("top_k", "a submitted query"))
     }
 
     /// The context summary of the current query.
-    pub fn context_summary(&self) -> Option<&ContextSummary> {
-        self.context_summary.as_ref()
+    pub fn context_summary(&self) -> Result<&ContextSummary, SedaError> {
+        self.context_summary
+            .as_ref()
+            .ok_or_else(|| self.stage_error("context_summary", "a submitted query"))
     }
 
     /// The connection summary of the latest top-k result.
-    pub fn connection_summary(&self) -> Option<&ConnectionSummary> {
-        self.connection_summary.as_ref()
+    pub fn connection_summary(&self) -> Result<&ConnectionSummary, SedaError> {
+        self.connection_summary
+            .as_ref()
+            .ok_or_else(|| self.stage_error("connection_summary", "a submitted query"))
     }
 
     /// The user's current context selections.
@@ -132,23 +160,38 @@ impl<'a> Session<'a> {
     /// Selects contexts for a query term and recomputes the top-k results and
     /// the connection summary restricted to those contexts (the feedback loop
     /// of Fig. 6).
-    pub fn select_contexts(&mut self, term: usize, paths: Vec<PathId>) -> Option<&TopKResult> {
-        let query = self.query.clone()?;
+    pub fn select_contexts(
+        &mut self,
+        term: usize,
+        paths: Vec<PathId>,
+    ) -> Result<&TopKResult, SedaError> {
+        let query = self
+            .query
+            .clone()
+            .ok_or_else(|| self.stage_error("select_contexts", "a submitted query"))?;
+        if term >= query.len() {
+            return Err(SedaError::UnknownTerm { term, terms: query.len() });
+        }
         self.selections.select(term, paths);
-        let top_k = self.engine.top_k(&query, &self.selections, self.k);
-        self.connection_summary = Some(self.engine.connection_summary(&top_k));
+        let (top_k, profile) = self.reader.top_k(&query, &self.selections, self.k);
+        self.connection_summary = Some(self.reader.connection_summary(&top_k));
+        self.last_profile = Some(profile);
         self.top_k = Some(top_k);
         self.complete = None;
         self.star_schema = None;
         self.stage = SessionStage::Explored;
-        self.top_k.as_ref()
+        Ok(self.top_k.as_ref().expect("just set"))
     }
 
     /// Selects the connections that are relevant for the query.
-    pub fn select_connections(&mut self, connections: Vec<Connection>) {
+    pub fn select_connections(&mut self, connections: Vec<Connection>) -> Result<(), SedaError> {
+        if self.query.is_none() {
+            return Err(self.stage_error("select_connections", "a submitted query"));
+        }
         self.chosen_connections = connections;
         self.complete = None;
         self.star_schema = None;
+        Ok(())
     }
 
     /// The currently selected connections.
@@ -158,43 +201,56 @@ impl<'a> Session<'a> {
 
     /// Materialises the complete (non-top-k) result set for the refined
     /// query.
-    pub fn complete_results(&mut self) -> Option<&QueryResultTable> {
-        let query = self.query.clone()?;
+    pub fn complete_results(&mut self) -> Result<&QueryResultTable, SedaError> {
+        let query = self
+            .query
+            .clone()
+            .ok_or_else(|| self.stage_error("complete_results", "a submitted query"))?;
         let result =
-            self.engine.complete_results(&query, &self.selections, &self.chosen_connections);
+            self.reader.complete_results(&query, &self.selections, &self.chosen_connections)?;
         self.complete = Some(result);
         self.stage = SessionStage::Materialized;
-        self.complete.as_ref()
+        Ok(self.complete.as_ref().expect("just set"))
     }
 
-    /// The materialised complete result, if computed.
-    pub fn complete(&self) -> Option<&QueryResultTable> {
-        self.complete.as_ref()
+    /// The materialised complete result.
+    pub fn complete(&self) -> Result<&QueryResultTable, SedaError> {
+        self.complete
+            .as_ref()
+            .ok_or_else(|| self.stage_error("complete", "a materialised result set"))
     }
 
     /// Derives the star schema from the complete result (computing it first
     /// if necessary).
-    pub fn build_cube(&mut self, options: &BuildOptions) -> Option<&StarSchemaBuild> {
+    pub fn build_cube(&mut self, options: &BuildOptions) -> Result<&StarSchemaBuild, SedaError> {
         if self.complete.is_none() {
             self.complete_results()?;
         }
-        let result = self.complete.as_ref()?;
-        let build = self.engine.build_star_schema(result, options);
+        let result = self.complete.as_ref().expect("materialised above");
+        let build = self.engine().build_star_schema(result, options);
         self.star_schema = Some(build);
         self.stage = SessionStage::Analyzed;
-        self.star_schema.as_ref()
+        Ok(self.star_schema.as_ref().expect("just set"))
     }
 
-    /// The derived star schema, if built.
-    pub fn star_schema(&self) -> Option<&StarSchemaBuild> {
-        self.star_schema.as_ref()
+    /// The derived star schema.
+    pub fn star_schema(&self) -> Result<&StarSchemaBuild, SedaError> {
+        self.star_schema
+            .as_ref()
+            .ok_or_else(|| self.stage_error("star_schema", "a derived star schema"))
     }
 
     /// Runs an aggregation over one fact table of the derived star schema.
-    pub fn aggregate(&self, fact_table: &str, query: &CubeQuery) -> Option<CubeResult> {
-        let schema = self.star_schema.as_ref()?;
-        let table = schema.schema.fact(fact_table)?;
-        aggregate(table, query).ok()
+    pub fn aggregate(&self, fact_table: &str, query: &CubeQuery) -> Result<CubeResult, SedaError> {
+        let schema = self
+            .star_schema
+            .as_ref()
+            .ok_or_else(|| self.stage_error("aggregate", "a derived star schema"))?;
+        let table = schema
+            .schema
+            .fact(fact_table)
+            .ok_or_else(|| SedaError::UnknownFact(fact_table.to_string()))?;
+        Ok(aggregate(table, query)?)
     }
 }
 
@@ -232,16 +288,17 @@ mod tests {
     #[test]
     fn session_walks_the_figure_6_control_flow() {
         let e = engine();
-        let mut session = Session::new(&e);
+        let mut session = SedaSession::new(&e);
         assert_eq!(session.stage(), SessionStage::Empty);
 
         session
             .submit_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
             .unwrap();
         assert_eq!(session.stage(), SessionStage::Explored);
-        assert!(session.top_k().is_some());
-        assert!(session.context_summary().is_some());
-        assert!(session.connection_summary().is_some());
+        assert!(session.top_k().is_ok());
+        assert!(session.context_summary().is_ok());
+        assert!(session.connection_summary().is_ok());
+        assert!(session.last_profile().is_some());
 
         // Refine the first term to the country-name context.
         let c = e.collection();
@@ -269,44 +326,90 @@ mod tests {
     }
 
     #[test]
+    fn stage_misuse_returns_typed_stage_errors() {
+        let e = engine();
+        let mut session = SedaSession::new(&e);
+        assert!(matches!(
+            session.top_k(),
+            Err(SedaError::Stage { stage: SessionStage::Empty, .. })
+        ));
+        assert!(matches!(session.context_summary(), Err(SedaError::Stage { .. })));
+        assert!(matches!(session.connection_summary(), Err(SedaError::Stage { .. })));
+        assert!(matches!(
+            session.select_contexts(0, vec![]),
+            Err(SedaError::Stage { operation: "select_contexts", .. })
+        ));
+        assert!(matches!(session.select_connections(vec![]), Err(SedaError::Stage { .. })));
+        assert!(matches!(
+            session.complete_results(),
+            Err(SedaError::Stage { operation: "complete_results", .. })
+        ));
+        assert!(matches!(session.complete(), Err(SedaError::Stage { .. })));
+        assert!(matches!(session.star_schema(), Err(SedaError::Stage { .. })));
+        assert!(matches!(
+            session.aggregate("f", &CubeQuery::sum(&[], "x")),
+            Err(SedaError::Stage { operation: "aggregate", .. })
+        ));
+        assert!(matches!(
+            session.build_cube(&BuildOptions::default()),
+            Err(SedaError::Stage { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_selections_are_unknown_terms() {
+        let e = engine();
+        let mut session = SedaSession::new(&e);
+        session.submit_text("(percentage, *)").unwrap();
+        assert_eq!(
+            session.select_contexts(5, vec![]).unwrap_err(),
+            SedaError::UnknownTerm { term: 5, terms: 1 }
+        );
+    }
+
+    #[test]
     fn resubmitting_clears_previous_refinements() {
         let e = engine();
-        let mut session = Session::new(&e);
+        let mut session = SedaSession::new(&e);
         session.submit_text(r#"(percentage, *)"#).unwrap();
         let c = e.collection();
         let pct = c
             .paths()
             .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
             .unwrap();
-        session.select_contexts(0, vec![pct]);
+        session.select_contexts(0, vec![pct]).unwrap();
         assert!(!session.selections().is_empty());
         session.submit_text(r#"(trade_country, *)"#).unwrap();
         assert!(session.selections().is_empty());
-        assert!(session.complete().is_none());
+        assert!(session.complete().is_err());
     }
 
     #[test]
     fn build_cube_materialises_results_if_needed() {
         let e = engine();
-        let mut session = Session::new(&e);
+        let mut session = SedaSession::new(&e);
         session.submit_text(r#"(*, "China") AND (percentage, *)"#).unwrap();
-        assert!(session.complete().is_none());
-        let build = session.build_cube(&BuildOptions::default());
-        assert!(build.is_some());
-        assert!(session.complete().is_some());
+        assert!(session.complete().is_err());
+        session.build_cube(&BuildOptions::default()).unwrap();
+        assert!(session.complete().is_ok());
     }
 
     #[test]
-    fn aggregate_requires_a_built_schema() {
+    fn aggregate_on_missing_fact_is_unknown_fact() {
         let e = engine();
-        let session = Session::new(&e);
-        assert!(session.aggregate("import-trade-percentage", &CubeQuery::sum(&[], "x")).is_none());
+        let mut session = SedaSession::new(&e);
+        session.submit_text(r#"(*, "China") AND (percentage, *)"#).unwrap();
+        session.build_cube(&BuildOptions::default()).unwrap();
+        assert_eq!(
+            session.aggregate("no-such-fact", &CubeQuery::sum(&[], "x")).unwrap_err(),
+            SedaError::UnknownFact("no-such-fact".into())
+        );
     }
 
     #[test]
     fn set_k_bounds_topk_results() {
         let e = engine();
-        let mut session = Session::new(&e);
+        let mut session = SedaSession::new(&e);
         session.set_k(1);
         let topk = session.submit_text(r#"(trade_country, *)"#).unwrap();
         assert_eq!(topk.tuples.len(), 1);

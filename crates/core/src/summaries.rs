@@ -116,6 +116,11 @@ impl ContextSelections {
         self.selections.iter().find(|(t, _)| *t == term).map(|(_, p)| p.as_slice())
     }
 
+    /// Iterates over the `(term, selected paths)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[PathId])> {
+        self.selections.iter().map(|(t, p)| (*t, p.as_slice()))
+    }
+
     /// True when no term has a selection.
     pub fn is_empty(&self) -> bool {
         self.selections.is_empty()

@@ -75,6 +75,28 @@ pub enum KeyViolation {
     },
 }
 
+impl std::fmt::Display for KeyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyViolation::MissingComponent { expression, node } => {
+                write!(f, "key component {expression:?} evaluated to no node for {node:?}")
+            }
+            KeyViolation::AmbiguousComponent { expression, node, matches } => {
+                write!(
+                    f,
+                    "key component {expression:?} evaluated to {matches} nodes for {node:?} \
+                     (expected exactly one)"
+                )
+            }
+            KeyViolation::DuplicateKey { values } => {
+                write!(f, "two distinct nodes produced the same key values {values:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyViolation {}
+
 impl RelativeKey {
     /// Builds a key from textual component expressions, e.g.
     /// `["/country", "/country/year", "../trade_country"]`.

@@ -133,6 +133,25 @@ impl FullTextQuery {
     }
 }
 
+impl std::fmt::Display for FullTextQuery {
+    /// Renders the query in the textual syntax accepted by
+    /// [`FullTextQuery::parse`], so `parse(&q.to_string())` reproduces `q`
+    /// for every non-degenerate query (empty keyword/phrase lists render as
+    /// the equivalent `*`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FullTextQuery::Any => write!(f, "*"),
+            FullTextQuery::Keywords(ts) if ts.is_empty() => write!(f, "*"),
+            FullTextQuery::Keywords(ts) => write!(f, "{}", ts.join(" ")),
+            FullTextQuery::Phrase(ts) if ts.is_empty() => write!(f, "*"),
+            FullTextQuery::Phrase(ts) => write!(f, "\"{}\"", ts.join(" ")),
+            FullTextQuery::And(a, b) => write!(f, "({a} AND {b})"),
+            FullTextQuery::Or(a, b) => write!(f, "({a} OR {b})"),
+            FullTextQuery::Not(inner) => write!(f, "(NOT {inner})"),
+        }
+    }
+}
+
 /// Error produced when a search-query string cannot be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryParseError {
@@ -385,5 +404,27 @@ mod tests {
     fn match_all_detection() {
         assert!(FullTextQuery::Keywords(vec![]).is_match_all());
         assert!(!FullTextQuery::keywords("x").is_match_all());
+    }
+
+    #[test]
+    fn display_renders_reparseable_text() {
+        for text in [
+            "*",
+            "china canada",
+            "\"united states\"",
+            "(china OR canada) AND NOT mexico",
+            "(NOT (a AND b)) OR \"c d\"",
+        ] {
+            let parsed = FullTextQuery::parse(text).unwrap();
+            let rendered = parsed.to_string();
+            assert_eq!(
+                FullTextQuery::parse(&rendered).unwrap(),
+                parsed,
+                "display of {text:?} must reparse to the same query (got {rendered:?})"
+            );
+        }
+        // Degenerate empty bags render as the equivalent match-all.
+        assert_eq!(FullTextQuery::Keywords(vec![]).to_string(), "*");
+        assert_eq!(FullTextQuery::Phrase(vec![]).to_string(), "*");
     }
 }

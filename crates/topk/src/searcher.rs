@@ -71,6 +71,14 @@ impl SearchScratch {
     pub fn new() -> Self {
         SearchScratch::default()
     }
+
+    /// The BFS scratch, for callers that interleave their own graph
+    /// traversals (connectivity checks, shortest paths) with searches over
+    /// the same reusable buffers — e.g. a per-thread reader handle serving a
+    /// whole query pipeline from one allocation-free scratch.
+    pub fn traversal_mut(&mut self) -> &mut TraversalScratch {
+        &mut self.traversal
+    }
 }
 
 /// Top-k searcher over a collection, its node index and its data graph.
@@ -173,7 +181,7 @@ impl<'a> TopKSearcher<'a> {
         scratch: &mut SearchScratch,
     ) -> TopKResult {
         let mut stats = SearchStats::default();
-        if terms.is_empty() {
+        if terms.is_empty() || config.k == 0 {
             return TopKResult { tuples: Vec::new(), stats };
         }
 
@@ -345,7 +353,7 @@ impl<'a> TopKSearcher<'a> {
         scratch: &mut SearchScratch,
     ) -> TopKResult {
         let mut stats = SearchStats::default();
-        if terms.is_empty() {
+        if terms.is_empty() || config.k == 0 {
             return TopKResult { tuples: Vec::new(), stats };
         }
         self.fill_term_lists(terms, scratch);

@@ -27,7 +27,7 @@ pub mod pattern;
 
 pub use eval::{evaluate_twig, TwigMatches};
 pub use join::{cross_twig_join, JoinPredicate, JoinedMatches};
-pub use pattern::{Axis, TwigNode, TwigPattern};
+pub use pattern::{Axis, TwigNode, TwigParseError, TwigPattern};
 
 #[cfg(test)]
 mod proptests {

@@ -7,9 +7,32 @@
 //! (child or descendant), an optional full-text predicate on its content, and
 //! a flag marking it as an output (query) node.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use seda_textindex::FullTextQuery;
+
+/// Error produced when a textual twig path cannot be compiled into a
+/// [`TwigPattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigParseError {
+    message: String,
+}
+
+impl TwigParseError {
+    fn new(message: impl Into<String>) -> Self {
+        TwigParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TwigParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "twig parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TwigParseError {}
 
 /// Axis between a pattern node and its parent pattern node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,32 +81,81 @@ impl TwigPattern {
         }
     }
 
+    /// Compiles the textual twig syntax `/a/b//c`: `/` introduces a
+    /// child-axis step, `//` a descendant-axis step.  The leaf of the path is
+    /// marked as an output node.
+    pub fn parse(expr: &str) -> Result<Self, TwigParseError> {
+        let trimmed = expr.trim();
+        if trimmed.is_empty() {
+            return Err(TwigParseError::new("empty twig path"));
+        }
+        if !trimmed.starts_with('/') {
+            return Err(TwigParseError::new(format!("twig path must start with '/': {trimmed:?}")));
+        }
+        let mut steps = Vec::new();
+        let mut rest = trimmed;
+        while !rest.is_empty() {
+            let axis = if let Some(stripped) = rest.strip_prefix("//") {
+                rest = stripped;
+                Axis::Descendant
+            } else if let Some(stripped) = rest.strip_prefix('/') {
+                rest = stripped;
+                Axis::Child
+            } else {
+                unreachable!("label scan consumes up to the next '/'")
+            };
+            let end = rest.find('/').unwrap_or(rest.len());
+            let label = &rest[..end];
+            if label.is_empty() {
+                return Err(TwigParseError::new(format!("empty step in twig path {trimmed:?}")));
+            }
+            steps.push((axis, label));
+            rest = &rest[end..];
+        }
+        let mut iter = steps.into_iter();
+        let (_, root) = iter.next().expect("at least one step");
+        let mut pattern = TwigPattern::with_root(root);
+        let mut current = 0usize;
+        for (axis, label) in iter {
+            current = pattern.add_child(current, label, axis);
+        }
+        pattern.nodes[current].output = true;
+        Ok(pattern)
+    }
+
     /// Builds a single-path pattern from `/a/b/c` notation; the leaf is marked
     /// as an output node.
-    pub fn from_path(path: &str) -> Option<Self> {
+    pub fn from_path(path: &str) -> Result<Self, TwigParseError> {
         let mut labels = path.split('/').filter(|s| !s.is_empty());
-        let root = labels.next()?;
+        let root = labels
+            .next()
+            .ok_or_else(|| TwigParseError::new(format!("twig path has no steps: {path:?}")))?;
         let mut pattern = TwigPattern::with_root(root);
         let mut current = 0usize;
         for label in labels {
             current = pattern.add_child(current, label, Axis::Child);
         }
         pattern.nodes[current].output = true;
-        Some(pattern)
+        Ok(pattern)
     }
 
     /// Builds a merged pattern from several `/a/b/c` paths sharing the same
-    /// root; each path's leaf becomes an output node.  Returns `None` when the
-    /// paths are empty or have different root labels.
-    pub fn from_paths(paths: &[&str]) -> Option<Self> {
+    /// root; each path's leaf becomes an output node.  Fails when the paths
+    /// are empty or have different root labels.
+    pub fn from_paths(paths: &[&str]) -> Result<Self, TwigParseError> {
         let mut iter = paths.iter();
-        let first = iter.next()?;
+        let first = iter.next().ok_or_else(|| TwigParseError::new("no twig paths to merge"))?;
         let mut pattern = TwigPattern::from_path(first)?;
         for path in iter {
             let mut labels = path.split('/').filter(|s| !s.is_empty());
-            let root = labels.next()?;
+            let root = labels
+                .next()
+                .ok_or_else(|| TwigParseError::new(format!("twig path has no steps: {path:?}")))?;
             if root != pattern.nodes[0].label {
-                return None;
+                return Err(TwigParseError::new(format!(
+                    "twig paths have different roots: {:?} vs {root:?}",
+                    pattern.nodes[0].label
+                )));
             }
             let mut current = 0usize;
             for label in labels {
@@ -96,7 +168,7 @@ impl TwigPattern {
             }
             pattern.nodes[current].output = true;
         }
-        Some(pattern)
+        Ok(pattern)
     }
 
     /// Adds a child pattern node and returns its index.
@@ -223,9 +295,29 @@ mod tests {
 
     #[test]
     fn from_paths_rejects_mismatched_roots() {
-        assert!(TwigPattern::from_paths(&["/country/name", "/sea/name"]).is_none());
-        assert!(TwigPattern::from_paths(&[]).is_none());
-        assert!(TwigPattern::from_path("").is_none());
+        let err = TwigPattern::from_paths(&["/country/name", "/sea/name"]).unwrap_err();
+        assert!(err.to_string().contains("different roots"), "{err}");
+        assert!(TwigPattern::from_paths(&[]).is_err());
+        assert!(TwigPattern::from_path("").is_err());
+    }
+
+    #[test]
+    fn parse_supports_child_and_descendant_axes() {
+        let p = TwigPattern::parse("/country/economy//trade_country").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.node(1).axis, Axis::Child);
+        assert_eq!(p.node(2).axis, Axis::Descendant);
+        assert!(p.node(2).output);
+        assert_eq!(p.output_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_paths() {
+        assert!(TwigPattern::parse("").is_err());
+        assert!(TwigPattern::parse("country/name").is_err());
+        assert!(TwigPattern::parse("/country///name").is_err());
+        let err = TwigPattern::parse("  ").unwrap_err();
+        assert!(err.to_string().contains("twig parse error"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! * document order is the lexicographic order of the component vectors,
 //! * ancestor/descendant tests are prefix tests, and
-//! * the holistic twig join ([`seda-twigjoin`]) can merge posting streams that
+//! * the holistic twig join (`seda-twigjoin`) can merge posting streams that
 //!   are sorted by Dewey ID without touching the document tree.
 
 use std::cmp::Ordering;

@@ -3,16 +3,22 @@
 //! paths, the 27 contexts matching "United States", and `/country` occurring
 //! in almost (but not exactly) every document.
 //!
+//! Context buckets are served through the facade's `CONTEXTS` statement; the
+//! raw index is only touched for the Fig. 8 tag-probe variant.
+//!
 //! Run with `cargo run --release --example faceted_contexts`.
 
+use seda_core::{EngineConfig, SedaEngine};
 use seda_datagen::{factbook, FactbookConfig};
-use seda_textindex::{ContextIndex, CountStorage, FullTextQuery};
+use seda_olap::Registry;
+use seda_textindex::FullTextQuery;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let countries: usize =
         std::env::var("SEDA_FACTBOOK_COUNTRIES").ok().and_then(|s| s.parse().ok()).unwrap_or(100);
-    let collection = factbook::generate(&FactbookConfig::paper_scaled(countries, 6))?;
-    let index = ContextIndex::build(&collection, CountStorage::DocumentStore);
+    let corpus = factbook::generate(&FactbookConfig::paper_scaled(countries, 6))?;
+    let engine = SedaEngine::build(corpus, Registry::new(), EngineConfig::default())?;
+    let collection = engine.collection();
 
     println!(
         "corpus: {} documents, {} distinct paths (paper: 1600 documents, 1984 paths)",
@@ -20,13 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         collection.distinct_path_count()
     );
 
-    // The context bucket of the term (*, "United States").
-    let bucket = index.context_bucket(&FullTextQuery::phrase("United States"));
+    // The context bucket of the term (*, "United States"), through the
+    // unified facade.
+    let mut reader = engine.reader();
+    let response = reader.execute_text(r#"CONTEXTS FOR (*, "United States")"#)?;
+    let Some(summary) = response.contexts() else {
+        return Err("CONTEXTS request must return a context summary".into());
+    };
+    let Some(bucket) = summary.bucket(0) else {
+        return Err("one bucket per query term".into());
+    };
     println!(
         "\n\"United States\" occurs in {} distinct contexts (paper: 27); top 10 by path frequency:",
-        bucket.len()
+        bucket.entries.len()
     );
-    for entry in bucket.iter().take(10) {
+    for entry in bucket.entries.iter().take(10) {
         println!(
             "  {:<65} freq {:>6}  in {:>5} docs",
             collection.path_string(entry.path),
@@ -34,13 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             entry.document_frequency
         );
     }
+    println!("{}", response.profile.render());
 
     // Prominent vs rare paths: the long tail.
     let freq = collection.path_document_frequency();
-    let country = collection.paths().get_str(collection.symbols(), "/country").unwrap();
+    let country = engine.resolve_path("/country")?;
     println!(
         "\n/country occurs in {} of {} documents (paper: 1577 of 1600)",
-        freq[&country],
+        freq.get(&country).copied().unwrap_or(0),
         collection.len()
     );
     let mut tail: Vec<(usize, String)> =
@@ -57,8 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tail.len()
     );
 
-    // Tag-probed bucket, as used when a query term carries a context.
-    let tagged = index.context_bucket_with_tag(&collection, &FullTextQuery::Any, "trade_country");
+    // Tag-probed bucket (Fig. 8), as used when a query term carries a
+    // context: this reads the index substrate the facade plans over.
+    let tagged = engine.context_index().context_bucket_with_tag(
+        collection,
+        &FullTextQuery::Any,
+        "trade_country",
+    );
     println!("\ncontexts with leaf tag trade_country:");
     for entry in &tagged {
         println!("  {:<65} freq {:>6}", collection.path_string(entry.path), entry.frequency);

@@ -1,11 +1,12 @@
-//! OLAP report — after deriving the star schema for Query 1, run the kind of
-//! analysis an off-the-shelf OLAP tool would: rollups, slices and per-year
-//! averages over the import-trade-percentage cube, plus a second cube over
-//! the GDP fact (which spans the GDP / GDP_ppp schema evolution).
+//! OLAP report — after materialising the complete result for Query 1 through
+//! the request facade, run the kind of analysis an off-the-shelf OLAP tool
+//! would: rollups, slices and per-year averages over the
+//! import-trade-percentage cube, plus a second cube over the GDP fact (which
+//! spans the GDP / GDP_ppp schema evolution).
 //!
 //! Run with `cargo run --release --example olap_report`.
 
-use seda_core::{ContextSelections, EngineConfig, SedaEngine, SedaQuery};
+use seda_core::{EngineConfig, SedaEngine, SedaRequest};
 use seda_datagen::{factbook, FactbookConfig};
 use seda_olap::{aggregate, rollup, AggFn, BuildOptions, CubeQuery, Registry};
 
@@ -13,33 +14,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let collection = factbook::generate(&FactbookConfig::paper_scaled(80, 6))?;
     let engine =
         SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())?;
-    let c = engine.collection();
+    let mut reader = engine.reader();
 
-    // Query 1, refined to import partners.
-    let query =
-        SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)?;
-    let mut selections = ContextSelections::none();
-    selections.select(0, vec![c.paths().get_str(c.symbols(), "/country/name").unwrap()]);
-    selections.select(
-        1,
-        vec![c
-            .paths()
-            .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
-            .unwrap()],
-    );
-    selections.select(
-        2,
-        vec![c
-            .paths()
-            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
-            .unwrap()],
-    );
-    let result = engine.complete_results(&query, &selections, &[]);
+    // Query 1 refined to import partners, as one complete-results request;
+    // the planner resolves (and validates) the context paths.
+    let request = SedaRequest::builder()
+        .complete_results()
+        .query_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)?
+        .select_paths(0, ["/country/name"])
+        .select_paths(1, ["/country/economy/import_partners/item/trade_country"])
+        .select_paths(2, ["/country/economy/import_partners/item/percentage"])
+        .build();
+    let response = reader.execute(&request)?;
+    println!("{}", response.profile.render());
+    let Some(result) = response.table() else {
+        return Err("complete-results request must return a table".into());
+    };
+
     // Augment with the GDP fact so two cubes are produced.
-    let build = engine
-        .build_star_schema(&result, &BuildOptions { add: vec!["GDP".into()], remove: vec![] });
+    let build =
+        engine.build_star_schema(result, &BuildOptions { add: vec!["GDP".into()], remove: vec![] });
 
-    let fact = build.schema.fact("import-trade-percentage").expect("percentage fact");
+    let Some(fact) = build.schema.fact("import-trade-percentage") else {
+        return Err("fact table import-trade-percentage was not derived".into());
+    };
     println!("== import-trade-percentage cube ({} rows) ==", fact.len());
 
     println!("\nrollup over (year, import-country), SUM of percentage:");

@@ -1,9 +1,10 @@
-//! Quickstart: load a handful of XML documents, run a SEDA query, inspect the
-//! summaries, and derive a data cube — the Figure 6 control flow in ~60 lines.
+//! Quickstart: load a handful of XML documents, run a SEDA query through the
+//! unified request → plan → response facade, inspect the summaries, and
+//! derive a data cube — the Figure 6 control flow in ~60 lines.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use seda_core::{EngineConfig, SedaEngine, Session};
+use seda_core::{EngineConfig, SedaEngine, SedaSession};
 use seda_olap::{BuildOptions, CubeQuery, Registry};
 use seda_xmlstore::parse_collection;
 
@@ -41,11 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())?;
     println!("dataguides: {:?}", engine.dataguide_stats());
 
-    // 3. Search: the paper's Query 1.
-    let mut session = Session::new(&engine);
-    let top_k = session
-        .submit_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)?;
-    println!("\ntop-{} tuples:", top_k.tuples.len());
+    // 3. Plan before running: EXPLAIN shows what the engine will do.
+    let query_text = r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#;
+    let mut reader = engine.reader();
+    let explained = reader.execute_text(&format!("EXPLAIN TOPK 10 FOR {query_text}"))?;
+    if let Some(transcript) = explained.explain_transcript() {
+        println!("\n{transcript}");
+    }
+
+    // 4. Search: the paper's Query 1 through a session.
+    let mut session = SedaSession::new(&engine);
+    let top_k = session.submit_text(query_text)?;
+    println!("top-{} tuples:", top_k.tuples.len());
     for tuple in &top_k.tuples {
         let contents: Vec<String> = tuple
             .nodes
@@ -55,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  score {:.3}  {:?}", tuple.score, contents);
     }
 
-    // 4. Explore: context summary (which contexts does each term match?).
-    let summary = session.context_summary().expect("summary available after submit");
+    // 5. Explore: context summary (which contexts does each term match?).
+    let summary = session.context_summary()?;
     for bucket in &summary.buckets {
         println!("\ncontexts for {}:", bucket.label);
         for line in bucket.display(engine.collection()) {
@@ -64,15 +72,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // 5. Discover: connection summary from the top-k results.
-    let connections = session.connection_summary().expect("connections available");
+    // 6. Discover: connection summary from the top-k results.
+    let connections = session.connection_summary()?;
     println!("\nconnections:");
     for line in connections.display(engine.collection()) {
         println!("  {line}");
     }
 
-    // 6. Analyze: derive the star schema and aggregate.
-    let build = session.build_cube(&BuildOptions::default()).expect("cube built");
+    // 7. Refine: pin every term to the import-partner contexts (the step a
+    //    user performs in the Fig. 5 GUI) so the star schema matches cleanly.
+    session.select_contexts(0, vec![engine.resolve_path("/country/name")?])?;
+    session.select_contexts(
+        1,
+        vec![engine.resolve_path("/country/economy/import_partners/item/trade_country")?],
+    )?;
+    session.select_contexts(
+        2,
+        vec![engine.resolve_path("/country/economy/import_partners/item/percentage")?],
+    )?;
+
+    // 8. Analyze: derive the star schema and aggregate.
+    let build = session.build_cube(&BuildOptions::default())?;
     println!("\nwarnings: {:?}", build.warnings);
     if let Some(fact) = build.schema.fact("import-trade-percentage") {
         println!("\nfact table {} ({} rows):", fact.name, fact.len());
@@ -80,17 +100,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {:?} -> {:?}", row.dimensions, row.measures);
         }
     }
-    if let Some(cube) = session.aggregate(
+    let cube = session.aggregate(
         "import-trade-percentage",
         &CubeQuery::sum(&["import-country"], "import-trade-percentage"),
-    ) {
-        println!("\ntotal import percentage by partner:");
-        for cell in &cube.cells {
-            println!(
-                "  {:<12} {:>6.1} (from {} rows)",
-                cell.coordinates[0], cell.value, cell.count
-            );
-        }
+    )?;
+    println!("\ntotal import percentage by partner:");
+    for cell in &cube.cells {
+        println!("  {:<12} {:>6.1} (from {} rows)", cell.coordinates[0], cell.value, cell.count);
     }
     Ok(())
 }

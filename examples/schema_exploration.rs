@@ -2,11 +2,17 @@
 //! at a 40% overlap threshold over the four (synthetic) data sets, plus the
 //! threshold-sweep ablation the paper discusses in Sec. 6.1.
 //!
+//! Table 1 rows come from fully built engines (`SedaEngine::dataguide_stats`,
+//! the same summary the query facade plans over); the threshold sweep probes
+//! the dataguide substrate directly, since it varies a build-time parameter.
+//!
 //! Run with `cargo run --release --example schema_exploration`
 //! (set `SEDA_TABLE1_SCALE=1.0` for paper-sized corpora).
 
+use seda_core::{EngineConfig, SedaEngine};
 use seda_datagen::Dataset;
 use seda_dataguide::DataGuideSet;
+use seda_olap::Registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale: f64 =
@@ -19,12 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for dataset in Dataset::ALL {
         let collection = scaled(dataset, scale)?;
-        let guides = DataGuideSet::build(&collection, 0.4)?;
+        let engine = SedaEngine::build(collection, Registry::new(), EngineConfig::default())?;
+        let stats = engine.dataguide_stats();
         println!(
             "{:<26} {:>12} {:>14} {:>15} -> {}",
             dataset.name(),
-            collection.len(),
-            guides.len(),
+            stats.documents,
+            stats.dataguides,
             dataset.paper_document_count(),
             dataset.paper_dataguide_count()
         );

@@ -1,5 +1,6 @@
 //! Trade analysis — the paper's worked Query 1 example (Figures 1–3) on a
-//! synthetic World-Factbook-like corpus.
+//! synthetic World-Factbook-like corpus, driven through the typed session
+//! facade: every stage-dependent call returns a `Result<_, SedaError>`.
 //!
 //! The user looks for import partners of the United States and their trade
 //! percentages, refines the contexts to import partners, materialises the
@@ -9,7 +10,7 @@
 //! Run with `cargo run --example trade_analysis` (set
 //! `SEDA_FACTBOOK_COUNTRIES=267` for the paper-scale corpus).
 
-use seda_core::{EngineConfig, SedaEngine, Session};
+use seda_core::{EngineConfig, SedaEngine, SedaSession};
 use seda_datagen::{factbook, FactbookConfig};
 use seda_olap::{AggFn, BuildOptions, CubeQuery, Registry};
 
@@ -26,12 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let engine =
         SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())?;
-    let mut session = Session::new(&engine);
+    let mut session = SedaSession::new(&engine);
     session.set_k(10);
 
     // Step 1: keyword-style query.
     session.submit_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)?;
-    let summary = session.context_summary().unwrap().clone();
+    let summary = session.context_summary()?.clone();
     println!("\n-- context summary --");
     for bucket in &summary.buckets {
         println!("{} ({} contexts)", bucket.label, bucket.entries.len());
@@ -39,38 +40,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("   {line}");
         }
     }
+    if let Some(profile) = session.last_profile() {
+        println!("\n{}", profile.render());
+    }
 
     // Step 2: the user selects the import-partner contexts (Figure 5).
-    let c = engine.collection();
-    let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
-    let tc = c
-        .paths()
-        .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
-        .unwrap();
-    let pct =
-        c.paths().get_str(c.symbols(), "/country/economy/import_partners/item/percentage").unwrap();
-    session.select_contexts(0, vec![name]);
-    session.select_contexts(1, vec![tc]);
-    session.select_contexts(2, vec![pct]);
+    // Paths resolve through the typed facade: a typo would surface as
+    // `SedaError::UnknownPath` instead of a panic.
+    let name = engine.resolve_path("/country/name")?;
+    let tc = engine.resolve_path("/country/economy/import_partners/item/trade_country")?;
+    let pct = engine.resolve_path("/country/economy/import_partners/item/percentage")?;
+    session.select_contexts(0, vec![name])?;
+    session.select_contexts(1, vec![tc])?;
+    session.select_contexts(2, vec![pct])?;
 
     // Step 3: connection summary — keep the same-item connection only.
-    let connections = session.connection_summary().unwrap().clone();
+    let connections = session.connection_summary()?.clone();
     println!("\n-- connection summary --");
     for line in connections.display(engine.collection()).iter().take(5) {
         println!("   {line}");
     }
     let same_item: Vec<_> =
         connections.connections.iter().filter(|conn| conn.length() == 2).cloned().collect();
-    session.select_connections(same_item);
+    session.select_connections(same_item)?;
 
     // Step 4: complete results and the star schema (Figure 3).
-    let complete_len = session.complete_results().map(|r| r.len()).unwrap_or(0);
+    let complete_len = session.complete_results()?.len();
     println!("\ncomplete result tuples: {complete_len}");
-    let build = session.build_cube(&BuildOptions::default()).unwrap();
+    let build = session.build_cube(&BuildOptions::default())?;
     println!("matched dimensions: {:?}", build.matching.dimensions);
     println!("matched facts     : {:?}", build.matching.facts);
 
-    let fact = build.schema.fact("import-trade-percentage").expect("fact table");
+    let Some(fact) = build.schema.fact("import-trade-percentage") else {
+        return Err("fact table import-trade-percentage was not derived".into());
+    };
     println!("\n-- Figure 3(c): fact table (United States rows) --");
     println!("{:<16} {:<6} {:<14} {:>10}", "country", "year", "import-country", "percentage");
     for row in fact.rows.iter().filter(|r| r.dimensions[0] == "United States") {
@@ -84,15 +87,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Step 5: OLAP.
-    let by_partner = session
-        .aggregate(
-            "import-trade-percentage",
-            &CubeQuery::sum(&["import-country"], "import-trade-percentage").with_agg(AggFn::Avg),
-        )
-        .unwrap();
+    let by_partner = session.aggregate(
+        "import-trade-percentage",
+        &CubeQuery::sum(&["import-country"], "import-trade-percentage").with_agg(AggFn::Avg),
+    )?;
     println!("\naverage US import share by partner (top 5):");
     let mut cells = by_partner.cells.clone();
-    cells.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+    cells.sort_by(|a, b| b.value.total_cmp(&a.value));
     for cell in cells.iter().take(5) {
         println!("  {:<14} {:>6.2}%", cell.coordinates[0], cell.value);
     }

@@ -17,6 +17,7 @@ pub use seda_core::{
 };
 pub use seda_core::{
     BuildProfile, ConnectionSummary, ContextBucket, ContextSelections, ContextSpec, ContextSummary,
-    EngineConfig, PhaseProfile, QueryError, QueryTerm, SedaEngine, SedaQuery, Session,
-    SessionStage,
+    EngineConfig, ExecProfile, PhaseProfile, PlanStep, QueryError, QueryPlan, QueryProfile,
+    QueryTerm, RequestBuilder, ResponsePayload, SedaEngine, SedaError, SedaQuery, SedaReader,
+    SedaRequest, SedaResponse, SedaSession, Session, SessionStage, Statement,
 };

@@ -39,9 +39,9 @@ fn stages_progress_through_the_feedback_loop() {
     let pct =
         c.paths().get_str(c.symbols(), "/country/economy/import_partners/item/percentage").unwrap();
     let name = c.paths().get_str(c.symbols(), "/country/name").unwrap();
-    session.select_contexts(0, vec![name]);
-    session.select_contexts(1, vec![tc]);
-    session.select_contexts(2, vec![pct]);
+    session.select_contexts(0, vec![name]).unwrap();
+    session.select_contexts(1, vec![tc]).unwrap();
+    session.select_contexts(2, vec![pct]).unwrap();
     assert_eq!(session.stage(), SessionStage::Explored, "refinement keeps the session exploring");
 
     // Restricting contexts restricts every top-k tuple to those contexts.
@@ -58,7 +58,7 @@ fn stages_progress_through_the_feedback_loop() {
     let same_item: Vec<_> =
         connections.connections.iter().filter(|c| c.length() == 2).cloned().collect();
     assert!(!same_item.is_empty());
-    session.select_connections(same_item);
+    session.select_connections(same_item).unwrap();
 
     let complete = session.complete_results().unwrap().clone();
     assert!(!complete.is_empty());
@@ -100,5 +100,5 @@ fn unparseable_queries_are_rejected_without_changing_state() {
     let mut session = Session::new(&engine);
     assert!(session.submit_text("this is not a SEDA query").is_err());
     assert_eq!(session.stage(), SessionStage::Empty);
-    assert!(session.top_k().is_none());
+    assert!(session.top_k().is_err());
 }

@@ -17,7 +17,7 @@ fn mondial_queries_cross_documents_via_idref_edges() {
     let engine = engine_for(Dataset::Mondial);
     assert!(engine.graph().cross_edge_count() > 0, "Mondial is densely linked by IDREFs");
     let query = SedaQuery::parse(r#"(/sea/name, *) AND (/country/name, *)"#).unwrap();
-    let result = engine.complete_results(&query, &ContextSelections::none(), &[]);
+    let result = engine.complete_results(&query, &ContextSelections::none(), &[]).unwrap();
     assert!(!result.is_empty(), "seas and their bordering countries are connected");
     for row in &result.rows {
         assert_ne!(row[0].0.doc, row[1].0.doc, "sea and country live in different documents");
@@ -41,7 +41,7 @@ fn googlebase_supports_user_defined_facts_and_cubes() {
     ));
     let engine = SedaEngine::build(collection, registry, EngineConfig::default()).unwrap();
     let query = SedaQuery::parse(r#"(category, *) AND (price, *)"#).unwrap();
-    let result = engine.complete_results(&query, &ContextSelections::none(), &[]);
+    let result = engine.complete_results(&query, &ContextSelections::none(), &[]).unwrap();
     assert!(!result.is_empty());
     let build = engine.build_star_schema(&result, &BuildOptions::default());
     let fact = build.schema.fact("price").expect("price fact table");

@@ -61,8 +61,9 @@ fn parallel_query_answers_match_sequential_byte_for_byte() {
         assert!((a.score - b.score).abs() < 1e-12);
     }
 
-    let seq_complete = sequential.complete_results(&query, &ContextSelections::none(), &[]);
-    let par_complete = parallel.complete_results(&query, &ContextSelections::none(), &[]);
+    let seq_complete =
+        sequential.complete_results(&query, &ContextSelections::none(), &[]).unwrap();
+    let par_complete = parallel.complete_results(&query, &ContextSelections::none(), &[]).unwrap();
     assert_eq!(seq_complete.rows, par_complete.rows);
 }
 

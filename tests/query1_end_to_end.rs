@@ -40,7 +40,7 @@ fn query1_fact_table_contains_the_papers_fixed_rows() {
         SedaQuery::parse(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
             .unwrap();
     let selections = import_selection(&engine);
-    let result = engine.complete_results(&query, &selections, &[]);
+    let result = engine.complete_results(&query, &selections, &[]).unwrap();
     assert!(!result.is_empty());
     let build = engine.build_star_schema(&result, &BuildOptions::default());
 
@@ -96,21 +96,27 @@ fn session_reproduces_the_same_cube_and_aggregates_it() {
         .submit_text(r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#)
         .unwrap();
     let c = engine.collection();
-    session.select_contexts(0, vec![c.paths().get_str(c.symbols(), "/country/name").unwrap()]);
-    session.select_contexts(
-        1,
-        vec![c
-            .paths()
-            .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
-            .unwrap()],
-    );
-    session.select_contexts(
-        2,
-        vec![c
-            .paths()
-            .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
-            .unwrap()],
-    );
+    session
+        .select_contexts(0, vec![c.paths().get_str(c.symbols(), "/country/name").unwrap()])
+        .unwrap();
+    session
+        .select_contexts(
+            1,
+            vec![c
+                .paths()
+                .get_str(c.symbols(), "/country/economy/import_partners/item/trade_country")
+                .unwrap()],
+        )
+        .unwrap();
+    session
+        .select_contexts(
+            2,
+            vec![c
+                .paths()
+                .get_str(c.symbols(), "/country/economy/import_partners/item/percentage")
+                .unwrap()],
+        )
+        .unwrap();
     let build = session.build_cube(&BuildOptions::default()).unwrap().clone();
     assert!(build.matching.facts.contains(&"import-trade-percentage".to_string()));
     assert!(build.matching.dimensions.contains(&"country".to_string()));

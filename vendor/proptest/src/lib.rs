@@ -4,9 +4,12 @@
 //! subset of proptest this workspace's property tests rely on:
 //!
 //! * the [`Strategy`] trait with [`Strategy::prop_map`],
+//!   [`Strategy::prop_filter`], [`Strategy::prop_recursive`] and
+//!   [`Strategy::boxed`],
 //! * regex-lite string strategies for patterns such as `"[a-z_]{1,10}"`,
 //! * numeric [`std::ops::Range`] strategies and tuple strategies,
-//! * [`collection::vec`],
+//! * [`collection::vec`], [`option::of`], [`Just`], [`any`] and the
+//!   [`prop_oneof!`] union macro,
 //! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, and
 //! * [`ProptestConfig::with_cases`].
 //!
@@ -93,6 +96,207 @@ pub trait Strategy {
         Self: Sized,
     {
         Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, resampling (bounded retries; upstream
+    /// tracks global rejection quotas instead).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, reason, pred }
+    }
+
+    /// Type-erases the strategy so differently-shaped strategies of the same
+    /// value type can be mixed (the basis of [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng| self.sample(rng)))
+    }
+
+    /// Recursive strategies: `self` generates the leaves, `expand` wraps an
+    /// inner strategy into the next level.  `depth` bounds the nesting; the
+    /// `_desired_size` / `_expected_branch` hints of the upstream signature
+    /// are accepted and ignored.
+    fn prop_recursive<B, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        B: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> B,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            // Each level may yield either deeper nesting or a leaf, so the
+            // generated shapes cover every depth up to the bound.
+            current = expand(current).boxed();
+        }
+        current
+    }
+}
+
+/// Strategy that always yields a clone of one value (`proptest::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.sample(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.reason);
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (`proptest::strategy::BoxedStrategy`).
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(std::rc::Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies; built by [`prop_oneof!`].
+#[derive(Debug, Clone)]
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given (non-empty) alternatives.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "empty prop_oneof!");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].sample(rng)
+    }
+}
+
+/// `prop_oneof!`: uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Types [`any`] can generate (`proptest::arbitrary::Arbitrary`, reduced to
+/// a sampling method).
+pub trait Arbitrary {
+    /// Draws a random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `proptest::prelude::any::<T>()`: arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` or `Some` of the inner strategy (3:1 in
+    /// favour of `Some`, mirroring upstream's default weight).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
     }
 }
 
@@ -285,8 +489,8 @@ pub mod collection {
 /// Everything a property-test module usually imports.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
-        TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
