@@ -1,0 +1,90 @@
+//! CI perf smoke check: re-measures the mondial `TOPK` pipeline latency and
+//! fails when it regresses past a committed threshold.
+//!
+//! The baseline is the `mondial` / `TOPK` row of the committed
+//! `BENCH_pipeline.json` at the repo root (parsed by plain string matching —
+//! the report is emitted one object per line by `bench_pipeline`).  The
+//! allowed budget is `max(50ms, 10 × committed wall_ms)`: generous enough to
+//! absorb shared-runner noise, tight enough to catch the connectivity oracle
+//! silently falling back to per-query BFS (a ~50× regression on this
+//! workload).
+//!
+//! Usage: `cargo run --release -p seda-bench --bin perf_smoke [-- <baseline.json>]`
+//! (default baseline path `BENCH_pipeline.json`).  Exits non-zero on
+//! regression or when the baseline row cannot be found.
+
+use std::process::ExitCode;
+
+use seda_bench::{measure_pipeline, topk_workloads};
+
+/// Extracts the `wall_ms` value of the `mondial` `TOPK` row from the report's
+/// line-per-object JSON.
+fn committed_mondial_topk_ms(report: &str) -> Option<f64> {
+    report
+        .lines()
+        .find(|line| {
+            line.contains("\"workload\": \"mondial\"") && line.contains("\"statement\": \"TOPK\"")
+        })
+        .and_then(|line| {
+            let rest = line.split("\"wall_ms\": ").nth(1)?;
+            rest.split([',', '}']).next()?.trim().parse().ok()
+        })
+}
+
+fn main() -> ExitCode {
+    let baseline_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let report = match std::fs::read_to_string(&baseline_path) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("perf_smoke: cannot read baseline {baseline_path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(committed_ms) = committed_mondial_topk_ms(&report) else {
+        eprintln!("perf_smoke: no mondial TOPK row in {baseline_path}");
+        return ExitCode::FAILURE;
+    };
+
+    let Some(workload) = topk_workloads().into_iter().find(|w| w.name == "mondial") else {
+        eprintln!("perf_smoke: no mondial workload");
+        return ExitCode::FAILURE;
+    };
+    let measurements = measure_pipeline(&workload);
+    let Some(topk) = measurements.iter().find(|m| m.statement == "TOPK") else {
+        eprintln!("perf_smoke: pipeline measurement has no TOPK row");
+        return ExitCode::FAILURE;
+    };
+
+    let budget_ms = (committed_ms * 10.0).max(50.0);
+    println!(
+        "perf_smoke: mondial TOPK {:.3}ms (committed {:.3}ms, budget {:.3}ms, {} label probes)",
+        topk.wall_ms, committed_ms, budget_ms, topk.label_probes
+    );
+    if topk.wall_ms > budget_ms {
+        eprintln!(
+            "perf_smoke: REGRESSION — mondial TOPK took {:.3}ms, budget is {:.3}ms",
+            topk.wall_ms, budget_ms
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::committed_mondial_topk_ms;
+
+    #[test]
+    fn parses_the_committed_report_shape() {
+        let report = concat!(
+            "{\n  \"label\": \"x\",\n  \"runs\": [\n",
+            "    {\"workload\": \"googlebase\", \"statement\": \"TOPK\", \"wall_ms\": 0.621},\n",
+            "    {\"workload\": \"mondial\", \"statement\": \"TOPK\", \"wall_ms\": 510.631, \"plan_ms\": 0.1},\n",
+            "    {\"workload\": \"mondial\", \"statement\": \"CONTEXTS\", \"wall_ms\": 1.0}\n",
+            "  ]\n}\n"
+        );
+        assert_eq!(committed_mondial_topk_ms(report), Some(510.631));
+        assert_eq!(committed_mondial_topk_ms("{}"), None);
+    }
+}

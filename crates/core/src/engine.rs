@@ -126,6 +126,9 @@ pub struct BuildProfile {
     pub guides: PhaseProfile,
     /// Inter-dataguide link derivation (always sequential).
     pub links_secs: f64,
+    /// Bytes held by the precomputed connectivity-oracle labels (see
+    /// [`seda_datagraph::ConnectivityIndex::label_bytes`]).
+    pub label_bytes: usize,
     /// End-to-end engine build wall time.
     pub total_secs: f64,
 }
@@ -168,18 +171,19 @@ impl BuildProfile {
         out.push_str(&row("data graph", &self.graph));
         out.push_str(&row("dataguides", &self.guides));
         out.push_str(&format!("  {:<14} {:>9.2}ms\n", "guide links", self.links_secs * 1e3));
+        out.push_str(&format!("  {:<14} {:>9} bytes\n", "oracle labels", self.label_bytes));
         out
     }
 }
 
 /// Work counters and wall time of one top-k query, the read-path counterpart
 /// of [`BuildProfile`]: it shows where a query spent its effort (sorted /
-/// random accesses of the Threshold Algorithm, BFS visits of the
-/// connectivity checks) and whether the result is exact or clipped.
+/// random accesses of the Threshold Algorithm, label probes of the
+/// connectivity-oracle checks) and whether the result is exact or clipped.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct QueryProfile {
     /// The search's work counters (sorted/random accesses, tuples scored and
-    /// rejected, BFS visits, truncation, early termination).
+    /// rejected, label probes, truncation, early termination).
     pub stats: seda_topk::SearchStats,
     /// End-to-end query wall time.
     pub wall_secs: f64,
@@ -190,14 +194,14 @@ impl QueryProfile {
     pub fn render(&self) -> String {
         format!(
             "query profile: {:.3}ms wall, {} sorted / {} random accesses, \
-             {} tuples scored ({} disconnected, {} truncated), {} BFS visits{}",
+             {} tuples scored ({} disconnected, {} truncated), {} label probes{}",
             self.wall_secs * 1e3,
             self.stats.sorted_accesses,
             self.stats.random_accesses,
             self.stats.tuples_scored,
             self.stats.tuples_disconnected,
             self.stats.candidates_truncated,
-            self.stats.bfs_visits,
+            self.stats.label_probes,
             if self.stats.early_terminated { ", early-terminated" } else { "" }
         )
     }
@@ -216,7 +220,7 @@ pub struct SedaEngine {
     config: EngineConfig,
     profile: BuildProfile,
     /// Prepared-query substrate: the posting-list buffers, candidate arenas
-    /// and BFS scratch every top-k query reuses.  Guarded by a mutex so the
+    /// and traversal scratch every top-k query reuses.  Guarded by a mutex so the
     /// engine stays `Sync`; concurrent queries fall back to a fresh scratch
     /// instead of blocking (see [`SedaEngine::top_k`]).
     ///
@@ -266,6 +270,7 @@ impl SedaEngine {
         let links_start = Instant::now();
         let links = guide_links(&collection, &graph, &guides);
         profile.links_secs = links_start.elapsed().as_secs_f64();
+        profile.label_bytes = graph.connectivity().label_bytes();
         profile.total_secs = build_start.elapsed().as_secs_f64();
 
         Ok(SedaEngine {
@@ -451,7 +456,7 @@ impl SedaEngine {
     /// Runs the top-k search unit for a query, honouring context selections.
     ///
     /// The query runs through the engine's cached [`SearchScratch`] (posting
-    /// lists, candidate arenas, BFS scratch), so steady-state queries do not
+    /// lists, candidate arenas, traversal scratch), so steady-state queries do not
     /// allocate; when another query holds the scratch, a fresh one is used
     /// rather than blocking.
     pub fn top_k(&self, query: &SedaQuery, selections: &ContextSelections, k: usize) -> TopKResult {

@@ -45,7 +45,7 @@ pub enum PlanStep {
     },
     /// Discover pairwise connections between the nodes of the top-k result.
     DiscoverConnections {
-        /// BFS depth bound.
+        /// Connection-path depth bound.
         max_depth: usize,
     },
     /// Enumerate one concrete context combination per term.
@@ -62,7 +62,7 @@ pub enum PlanStep {
     },
     /// Join cross-root combinations through data-graph connectivity.
     GraphJoin {
-        /// BFS depth bound.
+        /// Connection-path depth bound.
         max_depth: usize,
         /// Row bound of the enumeration.
         limit: usize,
@@ -96,7 +96,7 @@ impl std::fmt::Display for PlanStep {
                 write!(f, "context buckets from the keyword→path index for {terms} term(s)")
             }
             PlanStep::DiscoverConnections { max_depth } => {
-                write!(f, "discover pairwise connections (BFS depth ≤ {max_depth})")
+                write!(f, "discover pairwise connections (oracle depth ≤ {max_depth})")
             }
             PlanStep::EnumerateCombinations { combinations } => {
                 write!(f, "enumerate {combinations} context combination(s)")

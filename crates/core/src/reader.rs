@@ -2,8 +2,8 @@
 //! query facade.
 //!
 //! A [`SedaReader`] is a cheap handle over a shared [`SedaEngine`] that owns
-//! its own [`SearchScratch`] (posting-list buffers, candidate arenas, BFS
-//! scratch).  Every query a reader executes reuses that scratch, so N
+//! its own [`SearchScratch`] (posting-list buffers, candidate arenas,
+//! traversal scratch).  Every query a reader executes reuses that scratch, so N
 //! threads holding N readers serve queries fully in parallel without ever
 //! touching the engine's shared mutex — the reader-handle discipline that
 //! keeps per-reader state small and reusable.

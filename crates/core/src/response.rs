@@ -3,8 +3,8 @@
 //! Every executed [`crate::SedaRequest`] produces one [`SedaResponse`]: a
 //! statement-shaped [`ResponsePayload`] plus the unified [`ExecProfile`]
 //! describing the work performed — sorted/random accesses of the Threshold
-//! Algorithm, BFS visits of the connectivity checks, rows produced, and the
-//! plan/execution wall split.
+//! Algorithm, label probes of the connectivity-oracle checks, rows produced,
+//! and the plan/execution wall split.
 
 use serde::{Deserialize, Serialize};
 
@@ -31,8 +31,9 @@ pub struct ExecProfile {
     /// Candidate combinations clipped by the candidate limit (non-zero means
     /// a best-effort top-k).
     pub candidates_truncated: usize,
-    /// Nodes visited by breadth-first connectivity/compactness checks.
-    pub bfs_visits: u64,
+    /// Label entries scanned by connectivity-oracle intersections during
+    /// connectivity/compactness checks.
+    pub label_probes: u64,
     /// True when the Threshold Algorithm stopped early.
     pub early_terminated: bool,
     /// Rows (tuples, bucket entries, connections, table rows or cube cells)
@@ -48,7 +49,7 @@ impl ExecProfile {
         self.tuples_scored += stats.tuples_scored;
         self.tuples_disconnected += stats.tuples_disconnected;
         self.candidates_truncated += stats.candidates_truncated;
-        self.bfs_visits += stats.bfs_visits;
+        self.label_probes += stats.label_probes;
         self.early_terminated |= stats.early_terminated;
     }
 
@@ -62,7 +63,7 @@ impl ExecProfile {
         format!(
             "profile: {:.3}ms total ({:.3}ms plan, {:.3}ms exec), {} rows, \
              {} sorted / {} random accesses, {} tuples scored \
-             ({} disconnected, {} truncated), {} BFS visits{}",
+             ({} disconnected, {} truncated), {} label probes{}",
             self.total_secs() * 1e3,
             self.plan_secs * 1e3,
             self.exec_secs * 1e3,
@@ -72,7 +73,7 @@ impl ExecProfile {
             self.tuples_scored,
             self.tuples_disconnected,
             self.candidates_truncated,
-            self.bfs_visits,
+            self.label_probes,
             if self.early_terminated { ", early-terminated" } else { "" }
         )
     }
@@ -201,13 +202,13 @@ mod tests {
             tuples_scored: 3,
             tuples_disconnected: 1,
             candidates_truncated: 0,
-            bfs_visits: 40,
+            label_probes: 40,
             early_terminated: true,
         };
         profile.absorb(&stats);
         profile.absorb(&stats);
         assert_eq!(profile.sorted_accesses, 10);
-        assert_eq!(profile.bfs_visits, 80);
+        assert_eq!(profile.label_probes, 80);
         assert!(profile.early_terminated);
         assert!(profile.render().contains("10 sorted"));
     }

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use seda_xmlstore::{Collection, DocId, NodeId, NodeKind};
 
 use crate::config::GraphConfig;
+use crate::connectivity::{centroid_tree_labels, ConnectivityIndex};
 
 /// Kind of an edge in the data graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -81,6 +82,10 @@ pub struct DataGraph {
     /// Connected-component id of every document (components over cross
     /// edges), indexed by document.
     doc_component: Vec<u32>,
+    /// Precomputed distance labels (the connectivity oracle), built at merge
+    /// time from the shard tree labels plus a landmark pass over cross-linked
+    /// components.
+    connectivity: ConnectivityIndex,
     edge_count: usize,
     id_nodes: usize,
     idref_nodes: usize,
@@ -109,6 +114,14 @@ pub struct GraphShard {
     primary_values: Vec<Vec<(String, NodeId)>>,
     /// Per value-key spec: `(content, node)` pairs on the foreign side.
     foreign_values: Vec<Vec<(String, NodeId)>>,
+    /// Centroid-decomposition label offsets of the document tree, length
+    /// `doc len + 1`.  Adopted at merge for documents that end up with no
+    /// cross edges; discarded (and replaced by hub labels) otherwise.
+    pub(crate) tree_offsets: Vec<u32>,
+    /// Tree label keys: centroid ordinals within the document.
+    pub(crate) tree_hubs: Vec<u32>,
+    /// Tree label distances (parallel to `tree_hubs`).
+    pub(crate) tree_dists: Vec<u16>,
 }
 
 impl GraphShard {
@@ -202,6 +215,22 @@ impl DataGraph {
             shard.primary_values.push(primary);
             shard.foreign_values.push(foreign);
         }
+
+        // Tree distance labels of this document (parent/child edges only, in
+        // the same order the merged CSR adjacency will use).  The merge phase
+        // adopts them verbatim for documents that end up with no cross edges.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); document.len()];
+        for (ordinal, node) in document.iter() {
+            let slot = &mut adj[ordinal as usize];
+            if let Some(parent) = node.parent {
+                slot.push(parent);
+            }
+            slot.extend_from_slice(&node.children);
+        }
+        let (tree_offsets, tree_hubs, tree_dists) = centroid_tree_labels(&adj);
+        shard.tree_offsets = tree_offsets;
+        shard.tree_hubs = tree_hubs;
+        shard.tree_dists = tree_dists;
         shard
     }
 
@@ -280,6 +309,8 @@ impl DataGraph {
 
         graph.freeze_adjacency(collection, &edges);
         graph.doc_component = compute_doc_components(collection.len(), &edges);
+        let connectivity = ConnectivityIndex::assemble(collection, &graph, &shards, &edges);
+        graph.connectivity = connectivity;
         graph
     }
 
@@ -365,6 +396,18 @@ impl DataGraph {
 
     fn dense_unchecked(&self, node: NodeId) -> u32 {
         self.doc_offsets[node.doc.index()] + node.node
+    }
+
+    /// Dense index of a document's first node (ordinal 0).
+    pub(crate) fn doc_base(&self, doc: DocId) -> u32 {
+        self.doc_offsets[doc.index()]
+    }
+
+    /// The precomputed connectivity oracle (distance labels built at merge
+    /// time).  The traversal layer answers `is_connected` / shortest-path
+    /// queries from it instead of running BFS.
+    pub fn connectivity(&self) -> &ConnectivityIndex {
+        &self.connectivity
     }
 
     /// The `NodeId` of a dense index (inverse of [`DataGraph::dense`]).

@@ -23,13 +23,16 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod connectivity;
 pub mod graph;
 pub mod traversal;
 
 pub use config::{GraphConfig, ValueKeySpec};
+pub use connectivity::{ConnectivityIndex, LabelScheme, LABEL_RADIUS};
 pub use graph::{doc_component_builds_on_this_thread, DataGraph, Edge, EdgeKind, GraphShard};
 pub use traversal::{
-    compactness, compactness_with, connecting_tree_size, connecting_tree_size_with, is_connected,
+    bfs_is_connected_with, bfs_shortest_distance_with, bfs_shortest_path_with, compactness,
+    compactness_with, connecting_tree_size, connecting_tree_size_with, is_connected,
     is_connected_with, pairwise_distances, shortest_distance, shortest_distance_with,
     shortest_path, shortest_path_with, Hop, TraversalScratch,
 };

@@ -9,15 +9,25 @@
 //! system — we approximate it with a minimum spanning tree over the pairwise
 //! shortest-path distances of the tuple's nodes.
 //!
+//! Distances are answered by the [`crate::ConnectivityIndex`] built at merge
+//! time: a bounded query is a label intersection (counted in
+//! [`TraversalScratch::label_probes`]), not a graph walk.  Hub labels are
+//! exact up to the index radius; the rare query whose `max_depth` exceeds it
+//! falls back to plain BFS (counted in [`TraversalScratch::bfs_visits`]).
+//! The BFS implementation also remains available as
+//! [`bfs_shortest_distance_with`] / [`bfs_shortest_path_with`] /
+//! [`bfs_is_connected_with`] — the reference the oracle is property-tested
+//! against.
+//!
 //! Every function exists in two flavours: a convenience form that allocates a
 //! fresh [`TraversalScratch`] internally, and a `*_with` form that reuses a
 //! caller-owned scratch.  The scratch holds **epoch-stamped** visited/distance
-//! arrays indexed by the graph's dense node indices, so a BFS touches no hash
-//! map and resets in O(1) between runs — this is what makes the per-candidate
-//! connectivity checks of the top-k search cheap enough for interactive use.
+//! arrays indexed by the graph's dense node indices, so even the BFS fallback
+//! touches no hash map and resets in O(1) between runs.
 
 use seda_xmlstore::NodeId;
 
+use crate::connectivity::{LabelScheme, SATURATED};
 use crate::graph::{DataGraph, EdgeKind};
 
 /// A hop on a connection path between two nodes.
@@ -31,9 +41,10 @@ pub struct Hop {
 
 const UNSET: u32 = u32::MAX;
 
-/// Reusable BFS state: epoch-stamped visited/distance/predecessor arrays over
-/// the graph's dense node indices, plus the work queue and the small
-/// spanning-tree buffers of the compactness computation.
+/// Reusable traversal state: epoch-stamped visited/distance/predecessor
+/// arrays over the graph's dense node indices (for the BFS fallback and the
+/// reference implementations), the work queue, and the small spanning-tree
+/// buffers of the compactness computation.
 ///
 /// One scratch serves any number of traversals over graphs of any size (the
 /// arrays grow on demand); reuse it across queries to keep the read path
@@ -51,8 +62,11 @@ pub struct TraversalScratch {
     matrix: Vec<u32>,
     in_tree: Vec<bool>,
     best: Vec<u32>,
-    /// Total nodes visited by BFS runs through this scratch (monotonic; the
-    /// query profile reports deltas).
+    /// Total label entries scanned by connectivity-oracle intersections
+    /// through this scratch (monotonic; the query profile reports deltas).
+    pub label_probes: u64,
+    /// Total nodes visited by BFS runs through this scratch — the reference
+    /// implementations plus the deep-query fallback (monotonic).
     pub bfs_visits: u64,
 }
 
@@ -121,6 +135,84 @@ fn bfs_with(graph: &DataGraph, scratch: &mut TraversalScratch, source: u32, max_
     }
 }
 
+/// Rebuilds the hop sequence `a -> b` from the predecessor array of the last
+/// BFS (which must have run from `a` and reached `b`).
+fn path_from_pred(graph: &DataGraph, scratch: &TraversalScratch, da: u32, db: u32) -> Vec<Hop> {
+    let mut path = Vec::new();
+    let mut current = db;
+    while current != da {
+        let (prev, kind) = scratch.pred[current as usize];
+        path.push(Hop { node: graph.node_id(current), kind });
+        current = prev;
+    }
+    path.reverse();
+    path
+}
+
+/// Outcome of consulting the connectivity oracle for a bounded distance.
+enum OracleDistance {
+    /// The labels answer the query exactly: `Some(d)` with `d <= max_depth`,
+    /// or `None` when no path of at most `max_depth` hops exists.
+    Known(Option<u32>),
+    /// The query's `max_depth` exceeds what the labels certify (deeper than
+    /// the hub radius, or a saturated tree label); only BFS can answer.
+    NeedsBfs,
+}
+
+/// Bounded shortest-path distance via label intersection.
+///
+/// Correctness relies on three facts: documents in different components are
+/// never connected; tree labels are exact at any depth; hub labels are exact
+/// for all true distances `<= radius`, and only ever over-estimate beyond it.
+fn oracle_distance(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
+    a: NodeId,
+    b: NodeId,
+    da: u32,
+    db: u32,
+    max_depth: usize,
+) -> OracleDistance {
+    if da == db {
+        return OracleDistance::Known(Some(0));
+    }
+    if !graph.same_component(a, b) {
+        return OracleDistance::Known(None);
+    }
+    let oracle = graph.connectivity();
+    if !oracle.covers(graph.node_count()) {
+        return OracleDistance::NeedsBfs;
+    }
+    let d = oracle.label_distance(da, db, &mut scratch.label_probes);
+    match oracle.scheme(a.doc) {
+        LabelScheme::Tree => {
+            // Tree components are single cross-edge-free documents, so both
+            // endpoints share the document and the labels are exact — unless
+            // a distance saturated `u16`, which only BFS can resolve.
+            if d >= SATURATED {
+                OracleDistance::NeedsBfs
+            } else if d as usize <= max_depth {
+                OracleDistance::Known(Some(d))
+            } else {
+                OracleDistance::Known(None)
+            }
+        }
+        LabelScheme::Hub => {
+            let radius = oracle.radius();
+            if d as usize <= max_depth.min(radius) {
+                // A label answer within the radius is the true distance.
+                OracleDistance::Known(Some(d))
+            } else if max_depth <= radius {
+                // The labels cover every distance up to `max_depth`; finding
+                // none there proves the true distance exceeds the bound.
+                OracleDistance::Known(None)
+            } else {
+                OracleDistance::NeedsBfs
+            }
+        }
+    }
+}
+
 /// Shortest-path distance between two nodes (number of edges), bounded by
 /// `max_depth`; `None` when no path exists within the bound.
 pub fn shortest_distance(
@@ -134,6 +226,28 @@ pub fn shortest_distance(
 
 /// [`shortest_distance`] reusing a caller-owned scratch.
 pub fn shortest_distance_with(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
+    a: NodeId,
+    b: NodeId,
+    max_depth: usize,
+) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let (da, db) = (graph.dense(a)?, graph.dense(b)?);
+    match oracle_distance(graph, scratch, a, b, da, db, max_depth) {
+        OracleDistance::Known(d) => d.map(|d| d as usize),
+        OracleDistance::NeedsBfs => {
+            bfs_with(graph, scratch, da, max_depth);
+            scratch.distance(db).map(|d| d as usize)
+        }
+    }
+}
+
+/// [`shortest_distance`] answered by plain breadth-first search — the
+/// reference implementation the oracle is property-tested against.
+pub fn bfs_shortest_distance_with(
     graph: &DataGraph,
     scratch: &mut TraversalScratch,
     a: NodeId,
@@ -161,7 +275,63 @@ pub fn shortest_path(
 
 /// [`shortest_path`] reusing a caller-owned scratch.  The returned hop vector
 /// is freshly allocated (it escapes the scratch's lifetime).
+///
+/// The path is materialised by oracle-guided descent: from each node, step to
+/// the first CSR neighbour whose label distance to the target is one less.
+/// The result has exactly the shortest-path length; among equally short
+/// paths the neighbour order (parent, children, cross edges) breaks ties
+/// deterministically.
 pub fn shortest_path_with(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
+    a: NodeId,
+    b: NodeId,
+    max_depth: usize,
+) -> Option<Vec<Hop>> {
+    if a == b {
+        return Some(Vec::new());
+    }
+    let (da, db) = (graph.dense(a)?, graph.dense(b)?);
+    let total = match oracle_distance(graph, scratch, a, b, da, db, max_depth) {
+        OracleDistance::Known(None) => return None,
+        OracleDistance::Known(Some(d)) => d,
+        OracleDistance::NeedsBfs => {
+            bfs_with(graph, scratch, da, max_depth);
+            scratch.distance(db)?;
+            return Some(path_from_pred(graph, scratch, da, db));
+        }
+    };
+    let oracle = graph.connectivity();
+    let mut path = Vec::with_capacity(total as usize);
+    let mut current = da;
+    let mut remaining = total;
+    'descend: while remaining > 0 {
+        for &(next, kind) in graph.neighbors_dense(current) {
+            let advances = if remaining == 1 {
+                next == db
+            } else {
+                // `remaining - 1` is within the certified range, so the label
+                // distance equals the true distance exactly when it matches.
+                oracle.label_distance(next, db, &mut scratch.label_probes) == remaining - 1
+            };
+            if advances {
+                path.push(Hop { node: graph.node_id(next), kind });
+                current = next;
+                remaining -= 1;
+                continue 'descend;
+            }
+        }
+        // Unreachable with exact labels; keep a safe way out regardless.
+        bfs_with(graph, scratch, da, max_depth);
+        scratch.distance(db)?;
+        return Some(path_from_pred(graph, scratch, da, db));
+    }
+    Some(path)
+}
+
+/// [`shortest_path`] materialised from a breadth-first search — the reference
+/// implementation the oracle-guided descent is property-tested against.
+pub fn bfs_shortest_path_with(
     graph: &DataGraph,
     scratch: &mut TraversalScratch,
     a: NodeId,
@@ -174,15 +344,7 @@ pub fn shortest_path_with(
     let (da, db) = (graph.dense(a)?, graph.dense(b)?);
     bfs_with(graph, scratch, da, max_depth);
     scratch.distance(db)?;
-    let mut path = Vec::new();
-    let mut current = db;
-    while current != da {
-        let (prev, kind) = scratch.pred[current as usize];
-        path.push(Hop { node: graph.node_id(current), kind });
-        current = prev;
-    }
-    path.reverse();
-    Some(path)
+    Some(path_from_pred(graph, scratch, da, db))
 }
 
 /// Pairwise shortest-path distances for a tuple of nodes.  Entry `(i, j)` is
@@ -208,7 +370,8 @@ pub fn pairwise_distances(
 }
 
 /// Fills `scratch.matrix` (row-major, `UNSET` = unreachable) with the
-/// pairwise bounded shortest-path distances of `nodes`.
+/// pairwise bounded shortest-path distances of `nodes`, one oracle probe per
+/// pair (plus a BFS per row when the bound exceeds the label radius).
 fn fill_distance_matrix(
     graph: &DataGraph,
     scratch: &mut TraversalScratch,
@@ -219,20 +382,35 @@ fn fill_distance_matrix(
     scratch.matrix.clear();
     scratch.matrix.resize(n * n, UNSET);
     for (i, &a) in nodes.iter().enumerate() {
-        let Some(da) = graph.dense(a) else { continue };
-        bfs_with(graph, scratch, da, max_depth);
-        for (j, &b) in nodes.iter().enumerate() {
-            if let Some(db) = graph.dense(b) {
-                if let Some(d) = scratch.distance(db) {
-                    scratch.matrix[i * n + j] = d;
+        if graph.dense(a).is_some() {
+            scratch.matrix[i * n + i] = 0;
+        }
+    }
+    for i in 0..n {
+        let Some(di) = graph.dense(nodes[i]) else { continue };
+        let mut bfs_ran = false;
+        for j in (i + 1)..n {
+            let Some(dj) = graph.dense(nodes[j]) else { continue };
+            let d = match oracle_distance(graph, scratch, nodes[i], nodes[j], di, dj, max_depth) {
+                OracleDistance::Known(d) => d,
+                OracleDistance::NeedsBfs => {
+                    if !bfs_ran {
+                        bfs_with(graph, scratch, di, max_depth);
+                        bfs_ran = true;
+                    }
+                    scratch.distance(dj)
                 }
+            };
+            if let Some(d) = d {
+                scratch.matrix[i * n + j] = d;
+                scratch.matrix[j * n + i] = d;
             }
         }
     }
 }
 
-/// True when the tuple of nodes is connected in the data graph (every pair is
-/// mutually reachable within `max_depth` hops).  This is the witness
+/// True when the tuple of nodes is connected in the data graph (every node is
+/// reachable from the first within `max_depth` hops).  This is the witness
 /// requirement of Definition 4.
 pub fn is_connected(graph: &DataGraph, nodes: &[NodeId], max_depth: usize) -> bool {
     is_connected_with(graph, &mut TraversalScratch::new(), nodes, max_depth)
@@ -250,6 +428,40 @@ pub fn is_connected_with(
     }
     // Reachability from the first node suffices (the graph is undirected for
     // traversal purposes).
+    let Some(first) = graph.dense(nodes[0]) else { return false };
+    let mut bfs_ran = false;
+    for &n in &nodes[1..] {
+        let Some(dn) = graph.dense(n) else { return false };
+        match oracle_distance(graph, scratch, nodes[0], n, first, dn, max_depth) {
+            OracleDistance::Known(Some(_)) => {}
+            OracleDistance::Known(None) => return false,
+            OracleDistance::NeedsBfs => {
+                // One BFS from the first node answers every fallback pair of
+                // this tuple (oracle probes in between never disturb it).
+                if !bfs_ran {
+                    bfs_with(graph, scratch, first, max_depth);
+                    bfs_ran = true;
+                }
+                if !scratch.seen(dn) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// [`is_connected`] answered by plain breadth-first search — the reference
+/// implementation the oracle is property-tested against.
+pub fn bfs_is_connected_with(
+    graph: &DataGraph,
+    scratch: &mut TraversalScratch,
+    nodes: &[NodeId],
+    max_depth: usize,
+) -> bool {
+    if nodes.len() <= 1 {
+        return true;
+    }
     let Some(first) = graph.dense(nodes[0]) else { return false };
     bfs_with(graph, scratch, first, max_depth);
     nodes.iter().all(|&n| graph.dense(n).map(|d| scratch.seen(d)).unwrap_or(false))
@@ -276,6 +488,12 @@ pub fn connecting_tree_size_with(
     let n = nodes.len();
     if n <= 1 {
         return Some(0);
+    }
+    if n == 2 {
+        // The connecting tree of a pair is its shortest path: answer with one
+        // oracle probe instead of the matrix + Prim machinery.  Pairs are the
+        // dominant tuple shape of two-term queries, so this is the hot path.
+        return shortest_distance_with(graph, scratch, nodes[0], nodes[1], max_depth);
     }
     fill_distance_matrix(graph, scratch, nodes, max_depth);
     // Prim's algorithm over the complete terminal graph.
@@ -476,7 +694,35 @@ mod tests {
                 );
             }
         }
-        assert!(scratch.bfs_visits > 0, "reused scratch accounts its BFS visits");
+        assert!(scratch.label_probes > 0, "reused scratch accounts its label probes");
+    }
+
+    #[test]
+    fn oracle_matches_bfs_reference_at_every_depth() {
+        let (c, g) = setup();
+        let mut scratch = TraversalScratch::new();
+        let nodes: Vec<NodeId> = c.documents().flat_map(|d| d.node_ids()).collect();
+        // Depths straddle the hub radius to exercise both the label path and
+        // the BFS fallback.
+        for depth in [0usize, 1, 2, 5, 12, g.connectivity().radius() + 4] {
+            for &a in &nodes {
+                for &b in &nodes {
+                    let reference = bfs_shortest_distance_with(&g, &mut scratch, a, b, depth);
+                    assert_eq!(
+                        shortest_distance_with(&g, &mut scratch, a, b, depth),
+                        reference,
+                        "oracle disagrees with BFS for {a:?} -> {b:?} at depth {depth}"
+                    );
+                    let path = shortest_path_with(&g, &mut scratch, a, b, depth);
+                    assert_eq!(path.map(|p| p.len()), reference, "path length must be shortest");
+                    assert_eq!(
+                        is_connected_with(&g, &mut scratch, &[a, b], depth),
+                        bfs_is_connected_with(&g, &mut scratch, &[a, b], depth),
+                        "is_connected diverged for {a:?}, {b:?} at depth {depth}"
+                    );
+                }
+            }
+        }
     }
 
     /// Reference BFS over `HashMap`s (the pre-CSR implementation), used to pin
@@ -518,7 +764,7 @@ mod tests {
                         assert_eq!(
                             shortest_distance_with(&g, &mut scratch, source, target, depth),
                             reference.get(&target).copied(),
-                            "CSR BFS disagrees with reference for {source:?} -> {target:?} at depth {depth}"
+                            "oracle disagrees with reference for {source:?} -> {target:?} at depth {depth}"
                         );
                     }
                 }

@@ -24,10 +24,10 @@
 //!
 //! The join loop performs no per-candidate allocation: candidate tuples live
 //! in two flat ping-pong arenas (`m`-strided `NodeId` runs plus a parallel
-//! score array), connectivity checks run through a reusable
-//! [`TraversalScratch`] with epoch-stamped visited arrays, and document-
-//! component pruning reads the components cached on the [`DataGraph`] at
-//! build time.  Callers that issue many queries should hold a
+//! score array), connectivity/compactness checks are label intersections
+//! against the graph's precomputed connectivity oracle (probes counted
+//! through a reusable [`TraversalScratch`]), and document-component pruning
+//! reads the components cached on the [`DataGraph`] at build time.  Callers that issue many queries should hold a
 //! [`SearchScratch`] and use [`TopKSearcher::search_with`] /
 //! [`TopKSearcher::search_naive_with`] so even the posting-list buffers are
 //! reused across queries.
@@ -41,7 +41,8 @@ use seda_xmlstore::{Collection, NodeId};
 use crate::types::{ResultTuple, SearchStats, TermInput, TopKConfig, TopKResult};
 
 /// Reusable buffers of the top-k search: posting lists, the flat candidate
-/// arenas of the join loop and the BFS scratch of the connectivity checks.
+/// arenas of the join loop and the traversal scratch of the connectivity
+/// checks.
 ///
 /// A scratch serves any number of searches over any engine; reuse it across
 /// queries to keep the read path allocation-free once the buffers have grown
@@ -60,7 +61,9 @@ pub struct SearchScratch {
     /// Next-stage combo arena (ping-pong partner).
     next_nodes: Vec<NodeId>,
     next_scores: Vec<f64>,
-    /// Scratch for the k-th best buffered score.
+    /// The `k` best scores buffered so far, kept sorted descending so the
+    /// threshold test reads the k-th best in O(1) instead of re-sorting the
+    /// whole candidate buffer per sorted access.
     kth_scores: Vec<f64>,
     positions: Vec<usize>,
     best_scores: Vec<f64>,
@@ -72,7 +75,7 @@ impl SearchScratch {
         SearchScratch::default()
     }
 
-    /// The BFS scratch, for callers that interleave their own graph
+    /// The traversal scratch, for callers that interleave their own graph
     /// traversals (connectivity checks, shortest paths) with searches over
     /// the same reusable buffers — e.g. a per-thread reader handle serving a
     /// whole query pipeline from one allocation-free scratch.
@@ -198,7 +201,7 @@ impl<'a> TopKSearcher<'a> {
             best_scores,
             ..
         } = scratch;
-        let bfs_visits_before = traversal.bfs_visits;
+        let label_probes_before = traversal.label_probes;
         let lists = &lists[..terms.len()];
         if lists.iter().any(Vec::is_empty) {
             // Some term has no match at all: the result is empty (Definition 4
@@ -210,6 +213,7 @@ impl<'a> TopKSearcher<'a> {
         best_scores.extend(lists.iter().map(|l| l[0].score));
         positions.clear();
         positions.resize(m, 0);
+        kth_scores.clear();
 
         let mut buffer: BinaryHeap<HeapTuple> = BinaryHeap::new();
 
@@ -276,10 +280,27 @@ impl<'a> TopKSearcher<'a> {
                 if combo_nodes.len() == combo_scores.len() * m {
                     for (c, &content) in combo_scores.iter().enumerate() {
                         let nodes = &combo_nodes[c * m..(c + 1) * m];
-                        if let Some(tuple) =
-                            score_tuple(self.graph, traversal, nodes, content, config, &mut stats)
-                        {
-                            buffer.push(HeapTuple(tuple));
+                        stats.tuples_scored += 1;
+                        let compact =
+                            compactness_with(self.graph, traversal, nodes, config.max_depth);
+                        if compact == 0.0 && m > 1 {
+                            stats.tuples_disconnected += 1;
+                        } else {
+                            let score =
+                                config.content_weight * content + config.structure_weight * compact;
+                            note_score(kth_scores, config.k, score);
+                            // Buffer only tuples still inside the provisional
+                            // top-k (ties at the k-th score included): a tuple
+                            // strictly below k better ones can never re-enter,
+                            // and the small buffer keeps the final sort cheap.
+                            if score >= *kth_scores.last().expect("note_score keeps >= 1 entry") {
+                                buffer.push(HeapTuple(ResultTuple {
+                                    nodes: nodes.to_vec(),
+                                    content_score: content,
+                                    compactness: compact,
+                                    score,
+                                }));
+                            }
                         }
                         if stats.tuples_scored >= config.candidate_limit {
                             break 'outer;
@@ -310,8 +331,8 @@ impl<'a> TopKSearcher<'a> {
                 let threshold =
                     config.content_weight * threshold_content + config.structure_weight * 1.0;
 
-                if buffer.len() >= config.k {
-                    let kth_score = kth_best_score(&buffer, config.k, kth_scores);
+                if kth_scores.len() >= config.k {
+                    let kth_score = kth_scores[config.k - 1];
                     if kth_score >= threshold {
                         stats.early_terminated = true;
                         break 'outer;
@@ -322,7 +343,7 @@ impl<'a> TopKSearcher<'a> {
                 break;
             }
         }
-        stats.bfs_visits = traversal.bfs_visits - bfs_visits_before;
+        stats.label_probes = traversal.label_probes - label_probes_before;
 
         let mut tuples: Vec<ResultTuple> =
             buffer.into_sorted_vec().into_iter().map(|h| h.0).collect();
@@ -366,7 +387,7 @@ impl<'a> TopKSearcher<'a> {
             next_scores,
             ..
         } = scratch;
-        let bfs_visits_before = traversal.bfs_visits;
+        let label_probes_before = traversal.label_probes;
         let lists = &lists[..terms.len()];
         if lists.iter().any(Vec::is_empty) {
             return TopKResult { tuples: Vec::new(), stats };
@@ -420,7 +441,7 @@ impl<'a> TopKSearcher<'a> {
                 }
             }
         }
-        stats.bfs_visits = traversal.bfs_visits - bfs_visits_before;
+        stats.label_probes = traversal.label_probes - label_probes_before;
         tuples.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -432,13 +453,17 @@ impl<'a> TopKSearcher<'a> {
     }
 }
 
-fn kth_best_score(buffer: &BinaryHeap<HeapTuple>, k: usize, scores: &mut Vec<f64>) -> f64 {
-    // BinaryHeap gives no direct k-th access; collect the scores into the
-    // reused scratch (buffer stays small: it holds scored tuples only).
-    scores.clear();
-    scores.extend(buffer.iter().map(|h| h.0.score));
-    scores.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    scores.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY)
+/// Folds one buffered score into the descending top-`k` score list
+/// (`scores.len() <= k` always): the k-th best buffered score is
+/// `scores[k - 1]` once `k` tuples have been buffered.
+fn note_score(scores: &mut Vec<f64>, k: usize, score: f64) {
+    let pos = scores.partition_point(|&s| s > score);
+    if pos < k {
+        if scores.len() == k {
+            scores.pop();
+        }
+        scores.insert(pos, score);
+    }
 }
 
 #[cfg(test)]
@@ -648,8 +673,8 @@ mod tests {
         let naive = searcher.search_naive(&terms, &TopKConfig::with_k(1));
         assert!(small_k.stats.sorted_accesses > 0);
         assert!(small_k.stats.tuples_scored <= naive.stats.tuples_scored);
-        assert!(small_k.stats.bfs_visits > 0, "connectivity checks are accounted");
-        assert!(naive.stats.bfs_visits > 0);
+        assert!(small_k.stats.label_probes > 0, "connectivity checks are accounted");
+        assert!(naive.stats.label_probes > 0);
     }
 
     #[test]

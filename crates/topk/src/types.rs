@@ -99,8 +99,9 @@ pub struct SearchStats {
     /// [`TopKConfig::candidate_limit`] clipped the candidate set.  Non-zero
     /// means the result is a best-effort top-k rather than an exact one.
     pub candidates_truncated: usize,
-    /// Nodes visited by the breadth-first connectivity/compactness checks.
-    pub bfs_visits: u64,
+    /// Label entries scanned by the connectivity-oracle intersections of the
+    /// connectivity/compactness checks.
+    pub label_probes: u64,
     /// True when the algorithm stopped via the threshold condition rather
     /// than exhausting all lists.
     pub early_terminated: bool,

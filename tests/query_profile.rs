@@ -86,7 +86,7 @@ fn query_profile_reports_the_work() {
     assert_eq!(profile.stats, result.stats, "profile carries the search's own counters");
     assert!(profile.stats.sorted_accesses > 0);
     assert!(profile.stats.tuples_scored > 0);
-    assert!(profile.stats.bfs_visits > 0, "connectivity checks must be accounted");
+    assert!(profile.stats.label_probes > 0, "connectivity checks must be accounted");
     assert_eq!(profile.stats.candidates_truncated, 0);
     assert!(profile.wall_secs > 0.0);
     let rendered = profile.render();

@@ -36,13 +36,13 @@ fn workload() -> Vec<SedaRequest> {
 /// times) so runs can be compared byte-for-byte.
 fn fingerprint(response: &SedaResponse) -> String {
     format!(
-        "{:?}|rows={}|sorted={}|random={}|scored={}|bfs={}",
+        "{:?}|rows={}|sorted={}|random={}|scored={}|probes={}",
         response.payload,
         response.profile.rows,
         response.profile.sorted_accesses,
         response.profile.random_accesses,
         response.profile.tuples_scored,
-        response.profile.bfs_visits,
+        response.profile.label_probes,
     )
 }
 
