@@ -47,7 +47,8 @@ fn bench_table1(c: &mut Criterion) {
                     let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
                     let shards = parallel_map(&docs, threads, |&doc| {
                         DataGuideSet::build_shard(collection, [doc]).expect("dataguide shard")
-                    });
+                    })
+                    .expect("no shard panics");
                     DataGuideSet::merge(0.4, shards).len()
                 })
             },

@@ -15,7 +15,8 @@
 
 use std::process::ExitCode;
 
-use seda_bench::{measure_pipeline, topk_workloads};
+use seda_bench::{best_of_three, measure_pipeline, topk_workloads};
+use seda_core::{Budget, RequestContext, SedaRequest};
 
 /// Extracts the `wall_ms` value of the `mondial` `TOPK` row from the report's
 /// line-per-object JSON.
@@ -65,6 +66,50 @@ fn main() -> ExitCode {
         eprintln!(
             "perf_smoke: REGRESSION — mondial TOPK took {:.3}ms, budget is {:.3}ms",
             topk.wall_ms, budget_ms
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Resource governance must be close to free when every ceiling is
+    // generous: re-run the same TOPK request under a fully specified (but
+    // never-breached) Budget and require the governed wall time to stay
+    // within 5% of the ungoverned run (plus a small floor absorbing timer
+    // noise on sub-millisecond workloads).
+    let request = match SedaRequest::parse(&format!("TOPK 10 FOR {}", workload.query_text)) {
+        Ok(request) => request,
+        Err(err) => {
+            eprintln!("perf_smoke: TOPK request failed to parse: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let generous = Budget::unlimited()
+        .with_deadline(std::time::Duration::from_secs(3600))
+        .with_max_sorted_accesses(usize::MAX)
+        .with_max_random_accesses(usize::MAX)
+        .with_max_candidates(usize::MAX)
+        .with_max_label_probes(u64::MAX)
+        .with_max_rows(usize::MAX)
+        .with_max_twig_matches(usize::MAX)
+        .with_max_cube_cells(usize::MAX);
+    let mut reader = workload.engine.reader();
+    let (governed, governed_ms) = best_of_three(|| {
+        let ctx = RequestContext::new(generous.clone());
+        reader.execute_governed(&request, &ctx).expect("generous budget never breaches")
+    });
+    let overhead_budget_ms = (topk.wall_ms * 1.05).max(topk.wall_ms + 5.0);
+    println!(
+        "perf_smoke: governed TOPK {governed_ms:.3}ms (ungoverned {:.3}ms, budget {overhead_budget_ms:.3}ms)",
+        topk.wall_ms
+    );
+    if governed.profile.degraded {
+        eprintln!("perf_smoke: a generous budget must never degrade the response");
+        return ExitCode::FAILURE;
+    }
+    if governed_ms > overhead_budget_ms {
+        eprintln!(
+            "perf_smoke: GOVERNANCE OVERHEAD — governed TOPK took {governed_ms:.3}ms, \
+             ungoverned {:.3}ms (allowed {overhead_budget_ms:.3}ms)",
+            topk.wall_ms
         );
         return ExitCode::FAILURE;
     }

@@ -333,7 +333,9 @@ impl TopKWorkload {
     }
 }
 
-fn best_of_three<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+/// Runs `f` once for warm-up and then three timed times, returning the last
+/// result together with the best wall time in milliseconds.
+pub fn best_of_three<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     let warmup = f();
     let mut best = f64::INFINITY;
     let mut result = warmup;
@@ -425,6 +427,13 @@ pub struct PipelineMeasurement {
     pub random_accesses: usize,
     /// Label probes of the measured run.
     pub label_probes: u64,
+    /// Aggregate budget work units of the measured run
+    /// ([`seda_core::ExecProfile::budget_spent`]).
+    pub budget_spent: u64,
+    /// True when the response was degraded by a budget breach (never the
+    /// case for the ungoverned benchmark runs; recorded so regressions in
+    /// the governance layer are visible in the report).
+    pub degraded: bool,
 }
 
 impl PipelineMeasurement {
@@ -434,7 +443,8 @@ impl PipelineMeasurement {
         format!(
             "{indent}{{\"workload\": {:?}, \"statement\": {:?}, \"request\": {:?}, \
              \"rows\": {}, \"wall_ms\": {:.3}, \"plan_ms\": {:.3}, \
-             \"sorted_accesses\": {}, \"random_accesses\": {}, \"label_probes\": {}}}",
+             \"sorted_accesses\": {}, \"random_accesses\": {}, \"label_probes\": {}, \
+             \"budget_spent\": {}, \"degraded\": {}}}",
             self.workload,
             self.statement,
             self.request,
@@ -444,6 +454,8 @@ impl PipelineMeasurement {
             self.sorted_accesses,
             self.random_accesses,
             self.label_probes,
+            self.budget_spent,
+            self.degraded,
         )
     }
 }
@@ -473,6 +485,8 @@ pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
             sorted_accesses: response.profile.sorted_accesses,
             random_accesses: response.profile.random_accesses,
             label_probes: response.profile.label_probes,
+            budget_spent: response.profile.budget_spent,
+            degraded: response.profile.degraded,
         };
         (response, row)
     };
@@ -497,6 +511,8 @@ pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
         sorted_accesses: 0,
         random_accesses: 0,
         label_probes: 0,
+        budget_spent: 0,
+        degraded: false,
     });
 
     if workload.name == "factbook" {

@@ -12,8 +12,9 @@
 //! [`EngineConfig::parallelism`], and records a [`BuildProfile`] with
 //! per-substrate shard and merge wall times.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, TryLockError};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -24,15 +25,33 @@ use seda_dataguide::{
 };
 use seda_olap::{BuildOptions, QueryResultTable, Registry, StarSchemaBuild, StarSchemaBuilder};
 use seda_textindex::{ContextIndex, CountStorage, FullTextQuery, NodeIndex};
-use seda_topk::SearchScratch;
+use seda_topk::{LimitBreach, SearchLimits, SearchScratch};
 use seda_topk::{TermInput, TopKConfig, TopKResult, TopKSearcher};
 use seda_twigjoin::{evaluate_twig, Axis, TwigPattern};
-use seda_xmlstore::{Collection, DocId, NodeId, PathId};
+use seda_xmlstore::{parse_collection, Collection, DocId, NodeId, PathId};
 
 use crate::error::SedaError;
-use crate::parallel::{effective_parallelism, parallel_map};
+use crate::faults;
+use crate::govern::RequestContext;
+use crate::parallel::{effective_parallelism, panic_message, parallel_map, WorkerPanic};
 use crate::query::{ContextSpec, SedaQuery};
 use crate::summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
+
+/// Lifts a contained build-worker panic into the unified error taxonomy.
+impl From<WorkerPanic> for SedaError {
+    fn from(p: WorkerPanic) -> Self {
+        SedaError::Internal(format!("build worker panicked on document {}: {}", p.index, p.message))
+    }
+}
+
+/// Runs `f` inside a panic-containment boundary: a panic anywhere below
+/// becomes [`SedaError::Internal`] instead of unwinding into the caller.
+pub(crate) fn catch_internal<T>(f: impl FnOnce() -> Result<T, SedaError>) -> Result<T, SedaError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(SedaError::Internal(panic_message(payload))),
+    }
+}
 
 /// Configuration of the engine's indexes and algorithms.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -232,6 +251,12 @@ pub struct SedaEngine {
     /// convenience path).  Reader-handle queries never increment this; the
     /// concurrency tests pin that invariant.
     shared_scratch_queries: AtomicUsize,
+    /// How many shared-scratch queries could not take the cached scratch
+    /// (lock contention) and fell back to a fresh allocation.  A *poisoned*
+    /// lock does not count: poison is cleared and the cached scratch is
+    /// reset in place, so the steady state stays allocation-free even after
+    /// a contained panic.
+    fresh_scratch_fallbacks: AtomicUsize,
 }
 
 impl SedaEngine {
@@ -244,6 +269,36 @@ impl SedaEngine {
     /// identical to the sequential build.  The timings of both phases are
     /// recorded in [`SedaEngine::build_profile`].
     pub fn build(
+        collection: Collection,
+        registry: Registry,
+        config: EngineConfig,
+    ) -> Result<Self, SedaError> {
+        catch_internal(|| Self::build_inner(collection, registry, config))
+    }
+
+    /// Parses `sources` (name, XML text pairs) into a [`Collection`] and
+    /// builds the engine over it — the one-call ingestion entry point.
+    ///
+    /// Parse failures surface as [`SedaError::Store`]; a panic anywhere in
+    /// parsing or building is contained and surfaced as
+    /// [`SedaError::Internal`], leaving the caller's process intact.
+    pub fn build_from_sources<'a, I>(
+        sources: I,
+        registry: Registry,
+        config: EngineConfig,
+    ) -> Result<Self, SedaError>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let sources: Vec<(&str, &str)> = sources.into_iter().collect();
+        catch_internal(move || {
+            faults::fire("parse")?;
+            let collection = parse_collection(sources)?;
+            Self::build_inner(collection, registry, config)
+        })
+    }
+
+    fn build_inner(
         collection: Collection,
         registry: Registry,
         config: EngineConfig,
@@ -285,6 +340,7 @@ impl SedaEngine {
             profile,
             query_scratch: Mutex::new(SearchScratch::new()),
             shared_scratch_queries: AtomicUsize::new(0),
+            fresh_scratch_fallbacks: AtomicUsize::new(0),
         })
     }
 
@@ -294,8 +350,9 @@ impl SedaEngine {
         collection: &Collection,
         config: &EngineConfig,
         profile: &mut BuildProfile,
-    ) -> seda_xmlstore::Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet)> {
+    ) -> Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet), SedaError> {
         let t = Instant::now();
+        faults::fire("oracle-build")?;
         let graph = DataGraph::build(collection, &config.graph);
         (profile.graph, _) = PhaseProfile::finish_shards(t);
 
@@ -321,14 +378,15 @@ impl SedaEngine {
         config: &EngineConfig,
         threads: usize,
         profile: &mut BuildProfile,
-    ) -> seda_xmlstore::Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet)> {
+    ) -> Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet), SedaError> {
         let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
 
         let t = Instant::now();
         let shards = parallel_map(&docs, threads, |&doc| {
             DataGraph::build_shard(collection, doc, &config.graph)
-        });
+        })?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        faults::fire("oracle-build")?;
         let graph = DataGraph::merge(collection, shards);
         phase.finish_merge(merge_start);
         profile.graph = phase;
@@ -336,8 +394,9 @@ impl SedaEngine {
         let t = Instant::now();
         let shards = parallel_map(&docs, threads, |&doc| {
             NodeIndex::build_shard(collection.document(doc).expect("doc listed by collection"))
-        });
+        })?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        faults::fire("shard-merge")?;
         let node_index = NodeIndex::merge(shards);
         phase.finish_merge(merge_start);
         profile.node_index = phase;
@@ -348,7 +407,7 @@ impl SedaEngine {
                 collection.document(doc).expect("doc listed by collection"),
                 config.count_storage,
             )
-        });
+        })?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
         let context_index = ContextIndex::merge(collection, config.count_storage, shards);
         phase.finish_merge(merge_start);
@@ -356,7 +415,7 @@ impl SedaEngine {
 
         let t = Instant::now();
         let shards =
-            parallel_map(&docs, threads, |&doc| DataGuideSet::build_shard(collection, [doc]));
+            parallel_map(&docs, threads, |&doc| DataGuideSet::build_shard(collection, [doc]))?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
         let shards = shards.into_iter().collect::<seda_xmlstore::Result<Vec<_>>>()?;
         let guides = DataGuideSet::merge(config.dataguide_threshold, shards);
@@ -429,6 +488,42 @@ impl SedaEngine {
         self.shared_scratch_queries.load(Ordering::Relaxed)
     }
 
+    /// How many shared-scratch queries lost the `try_lock` race and ran on a
+    /// freshly allocated scratch.  Poisoned locks are *recovered* (poison
+    /// cleared, scratch reset in place) rather than abandoned, so a contained
+    /// panic does not inflate this counter forever after.
+    pub fn fresh_scratch_fallbacks(&self) -> usize {
+        self.fresh_scratch_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Takes the engine's shared scratch and runs `f` over it, recovering a
+    /// poisoned mutex (a worker panicked while holding it) by clearing the
+    /// poison and resetting the scratch in place.  Only lock *contention*
+    /// falls back to a fresh allocation.
+    fn with_shared_scratch<R>(&self, f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+        self.shared_scratch_queries.fetch_add(1, Ordering::Relaxed);
+        match self.query_scratch.try_lock() {
+            Ok(mut scratch) => {
+                faults::fire_unchecked("scratch-lock");
+                f(&mut scratch)
+            }
+            Err(TryLockError::Poisoned(poisoned)) => {
+                // A panic was contained while the scratch was held; its
+                // buffers may be mid-update, so reset them and clear the
+                // poison — the cached scratch stays warm for later queries.
+                let mut scratch = poisoned.into_inner();
+                *scratch = SearchScratch::new();
+                self.query_scratch.clear_poison();
+                faults::fire_unchecked("scratch-lock");
+                f(&mut scratch)
+            }
+            Err(TryLockError::WouldBlock) => {
+                self.fresh_scratch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                f(&mut SearchScratch::new())
+            }
+        }
+    }
+
     /// Resolves the allowed paths of every term, combining the term's own
     /// context spec with any user selection from the context summary.
     pub(crate) fn term_inputs(
@@ -471,13 +566,7 @@ impl SedaEngine {
         selections: &ContextSelections,
         k: usize,
     ) -> (TopKResult, QueryProfile) {
-        self.shared_scratch_queries.fetch_add(1, Ordering::Relaxed);
-        match self.query_scratch.try_lock() {
-            Ok(mut scratch) => self.top_k_scratch(query, selections, k, &mut scratch),
-            // Contended or poisoned: a fresh scratch keeps the query correct
-            // (and the engine Sync) at the cost of this query's allocations.
-            Err(_) => self.top_k_scratch(query, selections, k, &mut SearchScratch::new()),
-        }
+        self.with_shared_scratch(|scratch| self.top_k_scratch(query, selections, k, scratch))
     }
 
     /// The scratch-parameterised top-k search every entry point (legacy
@@ -490,26 +579,47 @@ impl SedaEngine {
         k: usize,
         scratch: &mut SearchScratch,
     ) -> (TopKResult, QueryProfile) {
-        let terms = self.term_inputs(query, selections);
-        self.search_terms(&terms, k, scratch)
+        let (result, profile, _) =
+            self.top_k_scratch_governed(query, selections, k, &SearchLimits::unlimited(), scratch);
+        (result, profile)
     }
 
-    /// Runs the Threshold-Algorithm searcher over pre-resolved term inputs.
-    /// `k == 0` is honoured literally and yields an empty result.
-    pub(crate) fn search_terms(
+    /// [`SedaEngine::top_k_scratch`] under per-request [`SearchLimits`]: the
+    /// third element reports the first exhausted resource, if any, and the
+    /// returned tuples are the certifiably correct prefix computed before it
+    /// ran out.
+    pub(crate) fn top_k_scratch_governed(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        k: usize,
+        limits: &SearchLimits,
+        scratch: &mut SearchScratch,
+    ) -> (TopKResult, QueryProfile, Option<LimitBreach>) {
+        let terms = self.term_inputs(query, selections);
+        self.search_terms_governed(&terms, k, limits, scratch)
+    }
+
+    /// Runs the Threshold-Algorithm searcher over pre-resolved term inputs
+    /// under per-request [`SearchLimits`] ([`SearchLimits::unlimited`] for
+    /// ungoverned callers).  `k == 0` is honoured literally and yields an
+    /// empty result.
+    pub(crate) fn search_terms_governed(
         &self,
         terms: &[TermInput],
         k: usize,
+        limits: &SearchLimits,
         scratch: &mut SearchScratch,
-    ) -> (TopKResult, QueryProfile) {
+    ) -> (TopKResult, QueryProfile, Option<LimitBreach>) {
         let start = Instant::now();
+        faults::fire_unchecked("mid-search");
         let searcher = TopKSearcher::new(&self.collection, &self.node_index, &self.graph);
         let mut config = self.config.topk.clone();
         config.k = k;
-        let result = searcher.search_with(terms, &config, scratch);
+        let (result, breach) = searcher.search_governed(terms, &config, limits, scratch);
         let profile =
             QueryProfile { stats: result.stats.clone(), wall_secs: start.elapsed().as_secs_f64() };
-        (result, profile)
+        (result, profile, breach)
     }
 
     /// Computes the context summary of a query (Sec. 5): one bucket per term
@@ -615,9 +725,9 @@ impl SedaEngine {
         }
         if combinations > self.config.complete_result_limit {
             return Err(SedaError::Limit {
-                what: "context combinations",
-                limit: self.config.complete_result_limit,
-                requested: combinations,
+                resource: "context combinations",
+                spent: combinations,
+                budget: self.config.complete_result_limit,
             });
         }
         Ok(combinations)
@@ -636,18 +746,9 @@ impl SedaEngine {
         selections: &ContextSelections,
         connections: &[Connection],
     ) -> Result<QueryResultTable, SedaError> {
-        self.shared_scratch_queries.fetch_add(1, Ordering::Relaxed);
-        match self.query_scratch.try_lock() {
-            Ok(mut scratch) => {
-                self.complete_results_scratch(query, selections, connections, &mut scratch)
-            }
-            Err(_) => self.complete_results_scratch(
-                query,
-                selections,
-                connections,
-                &mut SearchScratch::new(),
-            ),
-        }
+        self.with_shared_scratch(|scratch| {
+            self.complete_results_scratch(query, selections, connections, scratch)
+        })
     }
 
     /// [`SedaEngine::complete_results`] reusing a caller-owned scratch for
@@ -659,12 +760,36 @@ impl SedaEngine {
         connections: &[Connection],
         scratch: &mut SearchScratch,
     ) -> Result<QueryResultTable, SedaError> {
+        let (table, _) = self.complete_results_governed(
+            query,
+            selections,
+            connections,
+            scratch,
+            &RequestContext::unlimited(),
+        )?;
+        Ok(table)
+    }
+
+    /// [`SedaEngine::complete_results_scratch`] under a per-request
+    /// [`RequestContext`]: cancellation, the wall-clock deadline and the
+    /// result-row budget are checked between context combinations.  A budget
+    /// breach returns the deduplicated rows enumerated so far (clipped to the
+    /// row ceiling) together with the breach, leaving the degrade-or-error
+    /// decision to the caller; cancellation always errors.
+    pub(crate) fn complete_results_governed(
+        &self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        connections: &[Connection],
+        scratch: &mut SearchScratch,
+        ctx: &RequestContext,
+    ) -> Result<(QueryResultTable, Option<LimitBreach>), SedaError> {
         let column_names = query.terms.iter().map(|t| t.label()).collect();
         let mut table = QueryResultTable::new(column_names);
 
         let term_paths = self.term_paths(query, selections);
         if self.context_combinations_of(&term_paths)? == 0 {
-            return Ok(table);
+            return Ok((table, None));
         }
 
         // Enumerate one concrete context per term (usually a single
@@ -672,6 +797,12 @@ impl SedaEngine {
         // twig per combination; union the rows.
         let mut combination = vec![0usize; term_paths.len()];
         loop {
+            ctx.check_cancelled()?;
+            if let Some(breach) = ctx.deadline_breach() {
+                table.rows.sort();
+                table.rows.dedup();
+                return Ok((table, Some(breach)));
+            }
             let chosen: Vec<PathId> =
                 combination.iter().enumerate().map(|(t, &i)| term_paths[t][i]).collect();
             self.evaluate_combination(query, &chosen, connections, &mut table, scratch)?;
@@ -682,10 +813,20 @@ impl SedaEngine {
                 table.rows.dedup();
                 if table.rows.len() > self.config.complete_result_limit {
                     return Err(SedaError::Limit {
-                        what: "complete-result tuples",
-                        limit: self.config.complete_result_limit,
-                        requested: table.rows.len(),
+                        resource: "complete-result tuples",
+                        spent: table.rows.len(),
+                        budget: self.config.complete_result_limit,
                     });
+                }
+            }
+            if ctx.row_breach(table.rows.len()).is_some() {
+                // Overlapping combinations may shrink below the ceiling once
+                // deduplicated; only a post-dedup excess is a real breach.
+                table.rows.sort();
+                table.rows.dedup();
+                if let Some(breach) = ctx.row_breach(table.rows.len()) {
+                    table.rows.truncate(breach.budget as usize);
+                    return Ok((table, Some(breach)));
                 }
             }
 
@@ -696,7 +837,7 @@ impl SedaEngine {
                     // Deduplicate rows that different combinations may share.
                     table.rows.sort();
                     table.rows.dedup();
-                    return Ok(table);
+                    return Ok((table, None));
                 }
                 combination[pos] += 1;
                 if combination[pos] < term_paths[pos].len() {
@@ -848,9 +989,9 @@ impl SedaEngine {
                     }
                     if next.len() > self.config.complete_result_limit {
                         return Err(SedaError::Limit {
-                            what: "graph-join frontier tuples",
-                            limit: self.config.complete_result_limit,
-                            requested: next.len(),
+                            resource: "graph-join frontier tuples",
+                            spent: next.len(),
+                            budget: self.config.complete_result_limit,
                         });
                     }
                 }

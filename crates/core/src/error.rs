@@ -55,16 +55,24 @@ pub enum SedaError {
     Cube(CubeError),
     /// The storage layer failed (parse error, unknown node, …).
     Store(XmlStoreError),
-    /// A configured limit would be exceeded; refine the query instead of
-    /// silently clipping the answer.
+    /// A configured limit or a per-request [`crate::Budget`] ceiling was
+    /// exceeded; refine the query, raise the budget, or opt into degraded
+    /// (partial-prefix) responses instead of silently clipping the answer.
     Limit {
-        /// What hit the limit (e.g. `"complete-result tuples"`).
-        what: &'static str,
-        /// The configured bound.
-        limit: usize,
-        /// The size the operation would have reached.
-        requested: usize,
+        /// The exhausted resource (e.g. `"complete-result tuples"`,
+        /// `"deadline"`, `"label probes"`).
+        resource: &'static str,
+        /// How much of the resource was consumed when the request stopped
+        /// (for `"deadline"`, elapsed milliseconds).
+        spent: usize,
+        /// The configured ceiling (for `"deadline"`, budget milliseconds).
+        budget: usize,
     },
+    /// A worker or query path panicked; the panic was contained at the
+    /// governance boundary and the engine remains fully serviceable.
+    Internal(String),
+    /// The request was cancelled through its [`crate::CancelToken`].
+    Cancelled,
 }
 
 impl fmt::Display for SedaError {
@@ -89,13 +97,27 @@ impl fmt::Display for SedaError {
             }
             SedaError::Cube(e) => write!(f, "{e}"),
             SedaError::Store(e) => write!(f, "{e}"),
-            SedaError::Limit { what, limit, requested } => {
+            SedaError::Limit { resource, spent, budget } => {
                 write!(
                     f,
-                    "{what} would reach {requested}, exceeding the configured limit of {limit}; \
-                     refine the query"
+                    "{resource} reached {spent}, exceeding the configured limit of {budget}; \
+                     refine the query or raise the budget"
                 )
             }
+            SedaError::Internal(detail) => {
+                write!(f, "internal error (contained; the engine remains serviceable): {detail}")
+            }
+            SedaError::Cancelled => write!(f, "request cancelled by its caller"),
+        }
+    }
+}
+
+impl From<seda_topk::LimitBreach> for SedaError {
+    fn from(b: seda_topk::LimitBreach) -> Self {
+        SedaError::Limit {
+            resource: b.resource,
+            spent: b.spent as usize,
+            budget: b.budget as usize,
         }
     }
 }
@@ -165,9 +187,11 @@ mod tests {
             (SedaError::Cube(CubeError::UnknownMeasure("m".into())), "unknown measure"),
             (SedaError::Store(XmlStoreError::EmptyDocument), "no root element"),
             (
-                SedaError::Limit { what: "tuples", limit: 10, requested: 99 },
+                SedaError::Limit { resource: "tuples", spent: 99, budget: 10 },
                 "exceeding the configured limit",
             ),
+            (SedaError::Internal("worker panicked".into()), "remains serviceable"),
+            (SedaError::Cancelled, "cancelled"),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err} should contain {needle:?}");
@@ -184,6 +208,9 @@ mod tests {
         assert!(matches!(e, SedaError::Store(_)));
         let e: SedaError = seda_twigjoin::TwigPattern::parse("").unwrap_err().into();
         assert!(matches!(e, SedaError::Twig(_)));
+        let e: SedaError =
+            seda_topk::LimitBreach { resource: "label probes", spent: 5, budget: 1 }.into();
+        assert!(matches!(e, SedaError::Limit { resource: "label probes", spent: 5, budget: 1 }));
     }
 
     #[test]

@@ -63,6 +63,8 @@
 
 pub mod engine;
 pub mod error;
+pub mod faults;
+pub mod govern;
 pub mod parallel;
 pub mod plan;
 pub mod query;
@@ -74,6 +76,8 @@ pub mod summaries;
 
 pub use engine::{BuildProfile, EngineConfig, PhaseProfile, QueryProfile, SedaEngine};
 pub use error::SedaError;
+pub use govern::{Budget, CancelToken, RequestContext};
+pub use parallel::WorkerPanic;
 pub use plan::{PlanStep, QueryPlan};
 pub use query::{ContextSpec, QueryError, QueryTerm, SedaQuery};
 pub use reader::SedaReader;

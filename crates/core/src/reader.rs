@@ -24,16 +24,65 @@
 use std::time::Instant;
 
 use seda_olap::{aggregate, CubeQuery};
-use seda_topk::{SearchScratch, TopKResult};
+use seda_topk::{LimitBreach, SearchScratch, TopKResult};
 
-use crate::engine::SedaEngine;
+use crate::engine::{catch_internal, SedaEngine};
 use crate::error::SedaError;
+use crate::govern::RequestContext;
 use crate::parallel::{effective_parallelism, parallel_map_with};
 use crate::plan::QueryPlan;
 use crate::query::SedaQuery;
 use crate::request::{SedaRequest, Statement};
 use crate::response::{ExecProfile, ResponsePayload, SedaResponse};
 use crate::summaries::{ConnectionSummary, ContextSelections, ContextSummary};
+
+/// Resolves a governance breach against the request's policy: cancellation
+/// and (recomputed) deadlines keep their precise numbers, a degraded-opt-in
+/// caller keeps the partial payload with [`ExecProfile::degraded`] set, and
+/// everyone else gets the typed [`SedaError::Limit`].
+fn resolve_breach(
+    breach: Option<LimitBreach>,
+    ctx: &RequestContext,
+    profile: &mut ExecProfile,
+) -> Result<(), SedaError> {
+    let Some(breach) = breach else { return Ok(()) };
+    if breach.resource == "cancelled" {
+        return Err(SedaError::Cancelled);
+    }
+    // The searcher reports deadline breaches with placeholder numbers (it
+    // does not know the request's start instant); rebuild them here.
+    let breach = if breach.resource == "deadline" {
+        ctx.deadline_breach().unwrap_or(breach)
+    } else {
+        breach
+    };
+    if ctx.degraded_allowed() {
+        profile.degraded = true;
+        Ok(())
+    } else {
+        Err(breach.into())
+    }
+}
+
+/// Clips a degraded payload to `keep` rows, preserving each shape's order
+/// (score order for top-k tuples, frequency order for summaries, sorted row
+/// order for tables, cell order for cubes).
+fn truncate_payload(payload: &mut ResponsePayload, keep: usize) {
+    match payload {
+        ResponsePayload::TopK(result) => result.tuples.truncate(keep),
+        ResponsePayload::Contexts(summary) => {
+            let mut remaining = keep;
+            for bucket in &mut summary.buckets {
+                bucket.entries.truncate(remaining);
+                remaining -= bucket.entries.len();
+            }
+        }
+        ResponsePayload::Connections { summary, .. } => summary.connections.truncate(keep),
+        ResponsePayload::Table(table) => table.rows.truncate(keep),
+        ResponsePayload::Cube { cube, .. } => cube.cells.truncate(keep),
+        ResponsePayload::Explain(_) => {}
+    }
+}
 
 /// A per-thread query handle owning its own scratch buffers.
 pub struct SedaReader<'e> {
@@ -67,6 +116,14 @@ impl SedaEngine {
             || self.reader(),
             |reader, request| reader.execute(request),
         )
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(result) => result,
+            // A panic was contained inside the worker; the neighbouring
+            // requests completed on rebuilt reader state.
+            Err(panic) => Err(SedaError::Internal(panic.message)),
+        })
+        .collect()
     }
 }
 
@@ -98,6 +155,20 @@ impl<'e> SedaReader<'e> {
     /// An `EXPLAIN` request stops after planning and returns the transcript
     /// as [`ResponsePayload::Explain`].
     pub fn execute(&mut self, request: &SedaRequest) -> Result<SedaResponse, SedaError> {
+        self.execute_governed(request, &RequestContext::unlimited())
+    }
+
+    /// [`SedaReader::execute`] under a per-request [`RequestContext`]:
+    /// deadlines, budget ceilings and cancellation are enforced at the
+    /// pipeline's counter sites, a breach surfaces as [`SedaError::Limit`]
+    /// (or a partial payload with [`ExecProfile::degraded`] set when the
+    /// context allows degraded responses), and any panic below is contained
+    /// into [`SedaError::Internal`], leaving the reader and engine usable.
+    pub fn execute_governed(
+        &mut self,
+        request: &SedaRequest,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
         let plan_start = Instant::now();
         let plan = self.engine.plan(request)?;
         let plan_secs = plan_start.elapsed().as_secs_f64();
@@ -107,66 +178,134 @@ impl<'e> SedaReader<'e> {
             profile.rows = payload.rows();
             return Ok(SedaResponse { payload, profile });
         }
-        let mut response = self.execute_plan(&plan)?;
+        let mut response = self.execute_plan_governed(&plan, ctx)?;
         response.profile.plan_secs = plan_secs;
         Ok(response)
     }
 
     /// Executes an already-planned request.
     pub fn execute_plan(&mut self, plan: &QueryPlan) -> Result<SedaResponse, SedaError> {
+        self.execute_plan_governed(plan, &RequestContext::unlimited())
+    }
+
+    /// [`SedaReader::execute_plan`] under a per-request [`RequestContext`];
+    /// the panic-containment boundary of the execution path.
+    pub fn execute_plan_governed(
+        &mut self,
+        plan: &QueryPlan,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
+        let outcome = catch_internal(|| self.execute_plan_inner(plan, ctx));
+        if matches!(outcome, Err(SedaError::Internal(_))) {
+            // A contained panic may have left this reader's scratch buffers
+            // mid-update; rebuild them so the next query starts clean.
+            self.scratch = SearchScratch::new();
+        }
+        outcome
+    }
+
+    fn execute_plan_inner(
+        &mut self,
+        plan: &QueryPlan,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
         let exec_start = Instant::now();
         let mut profile = ExecProfile::default();
-        let payload = match &plan.statement {
+        ctx.check_cancelled()?;
+        let limits = ctx.search_limits();
+        let mut payload = match &plan.statement {
             Statement::TopK { k } => {
-                let (result, _) =
-                    self.engine.search_terms(&plan.term_inputs, *k, &mut self.scratch);
+                let (result, _, breach) = self.engine.search_terms_governed(
+                    &plan.term_inputs,
+                    *k,
+                    &limits,
+                    &mut self.scratch,
+                );
                 profile.absorb(&result.stats);
+                resolve_breach(breach, ctx, &mut profile)?;
                 ResponsePayload::TopK(result)
             }
             Statement::ContextSummary => {
                 let query = plan.query.as_ref().expect("planner requires a query");
-                ResponsePayload::Contexts(self.engine.context_summary(query))
+                let contexts = self.engine.context_summary(query);
+                resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
+                ResponsePayload::Contexts(contexts)
             }
             Statement::ConnectionSummary { k } => {
-                let (top_k, _) = self.engine.search_terms(&plan.term_inputs, *k, &mut self.scratch);
+                let (top_k, _, breach) = self.engine.search_terms_governed(
+                    &plan.term_inputs,
+                    *k,
+                    &limits,
+                    &mut self.scratch,
+                );
                 profile.absorb(&top_k.stats);
+                resolve_breach(breach, ctx, &mut profile)?;
+                ctx.check_cancelled()?;
                 let summary = self.engine.connection_summary(&top_k);
+                resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
                 ResponsePayload::Connections { top_k, summary }
             }
             Statement::CompleteResults => {
                 let query = plan.query.as_ref().expect("planner requires a query");
-                let table = self.engine.complete_results_scratch(
+                let (table, breach) = self.engine.complete_results_governed(
                     query,
                     &plan.selections,
                     &plan.connections,
                     &mut self.scratch,
+                    ctx,
                 )?;
+                resolve_breach(breach, ctx, &mut profile)?;
                 ResponsePayload::Table(table)
             }
             Statement::Twig { .. } => {
                 let pattern = plan.pattern.as_ref().expect("planner compiles twig statements");
-                ResponsePayload::Table(self.engine.twig_table(pattern))
+                let mut table = self.engine.twig_table(pattern);
+                if let Some(breach) = ctx.twig_breach(table.len()) {
+                    let keep = breach.budget as usize;
+                    resolve_breach(Some(breach), ctx, &mut profile)?;
+                    table.rows.truncate(keep);
+                }
+                resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
+                ResponsePayload::Table(table)
             }
             Statement::Cube { fact, group_by, agg, measure } => {
                 let query = plan.query.as_ref().expect("planner requires a query");
-                let table = self.engine.complete_results_scratch(
+                let (table, breach) = self.engine.complete_results_governed(
                     query,
                     &plan.selections,
                     &plan.connections,
                     &mut self.scratch,
+                    ctx,
                 )?;
+                resolve_breach(breach, ctx, &mut profile)?;
+                ctx.check_cancelled()?;
                 let build = self.engine.build_star_schema(&table, &plan.cube_options);
                 let fact_table =
                     build.schema.fact(fact).ok_or_else(|| SedaError::UnknownFact(fact.clone()))?;
                 let measure = measure.clone().unwrap_or_else(|| fact.clone());
                 let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
                 let cube_query = CubeQuery::sum(&group_refs, &measure).with_agg(*agg);
-                let cube = aggregate(fact_table, &cube_query)?;
+                let mut cube = aggregate(fact_table, &cube_query)?;
+                if let Some(breach) = ctx.cube_breach(cube.len()) {
+                    let keep = breach.budget as usize;
+                    resolve_breach(Some(breach), ctx, &mut profile)?;
+                    cube.cells.truncate(keep);
+                }
                 ResponsePayload::Cube { build, cube }
             }
         };
+        if let Some(breach) = ctx.row_breach(payload.rows()) {
+            let keep = breach.budget as usize;
+            resolve_breach(Some(breach), ctx, &mut profile)?;
+            truncate_payload(&mut payload, keep);
+        }
         profile.exec_secs = exec_start.elapsed().as_secs_f64();
         profile.rows = payload.rows();
+        profile.budget_spent = profile.sorted_accesses as u64
+            + profile.random_accesses as u64
+            + profile.tuples_scored as u64
+            + profile.label_probes
+            + profile.rows as u64;
         Ok(SedaResponse { payload, profile })
     }
 
@@ -186,6 +325,34 @@ impl<'e> SedaReader<'e> {
         profile.absorb(&result.stats);
         profile.rows = result.tuples.len();
         (result, profile)
+    }
+
+    /// [`SedaReader::top_k`] under a per-request [`RequestContext`]: a
+    /// budget breach yields the certifiably correct prefix with
+    /// [`ExecProfile::degraded`] set when the context allows degraded
+    /// responses, and [`SedaError::Limit`] otherwise.
+    pub fn top_k_governed(
+        &mut self,
+        query: &SedaQuery,
+        selections: &ContextSelections,
+        k: usize,
+        ctx: &RequestContext,
+    ) -> Result<(TopKResult, ExecProfile), SedaError> {
+        ctx.check_cancelled()?;
+        let limits = ctx.search_limits();
+        let (result, query_profile, breach) =
+            self.engine.top_k_scratch_governed(query, selections, k, &limits, &mut self.scratch);
+        let mut profile =
+            ExecProfile { exec_secs: query_profile.wall_secs, ..ExecProfile::default() };
+        profile.absorb(&result.stats);
+        resolve_breach(breach, ctx, &mut profile)?;
+        profile.rows = result.tuples.len();
+        profile.budget_spent = profile.sorted_accesses as u64
+            + profile.random_accesses as u64
+            + profile.tuples_scored as u64
+            + profile.label_probes
+            + profile.rows as u64;
+        Ok((result, profile))
     }
 
     /// Context summary of a query (read-only, no scratch needed).
@@ -316,7 +483,10 @@ mod tests {
                  WITH 0 IN /country/economy/import_partners/item/trade_country",
             )
             .unwrap_err();
-        assert!(matches!(err, SedaError::Limit { what: "complete-result tuples", .. }), "{err}");
+        assert!(
+            matches!(err, SedaError::Limit { resource: "complete-result tuples", .. }),
+            "{err}"
+        );
         // A query that fits the limit still succeeds.
         let response = reader.execute_text(r#"RESULTS FOR (trade_country, "China")"#).unwrap();
         assert_eq!(response.table().unwrap().len(), 1);

@@ -39,6 +39,14 @@ pub struct ExecProfile {
     /// Rows (tuples, bucket entries, connections, table rows or cube cells)
     /// in the payload.
     pub rows: usize,
+    /// Aggregate work units spent against the request's [`crate::Budget`]
+    /// (sorted + random accesses + tuples scored + label probes + rows);
+    /// the cross-resource yardstick admission control can meter.
+    pub budget_spent: u64,
+    /// True when a budget ceiling was hit and the caller opted into a
+    /// degraded response: the payload is the exact prefix computed before
+    /// the breach, not the full answer.
+    pub degraded: bool,
 }
 
 impl ExecProfile {
@@ -74,8 +82,8 @@ impl ExecProfile {
             self.tuples_disconnected,
             self.candidates_truncated,
             self.label_probes,
-            if self.early_terminated { ", early-terminated" } else { "" }
-        )
+            if self.early_terminated { ", early-terminated" } else { "" },
+        ) + if self.degraded { " [degraded: budget exhausted]" } else { "" }
     }
 }
 

@@ -24,6 +24,7 @@ use seda_xmlstore::PathId;
 
 use crate::engine::SedaEngine;
 use crate::error::SedaError;
+use crate::govern::{Budget, RequestContext};
 use crate::query::SedaQuery;
 use crate::reader::SedaReader;
 use crate::response::ExecProfile;
@@ -55,6 +56,7 @@ pub struct SedaSession<'a> {
     star_schema: Option<StarSchemaBuild>,
     last_profile: Option<ExecProfile>,
     k: usize,
+    budget: Option<Budget>,
     stage: SessionStage,
 }
 
@@ -76,6 +78,7 @@ impl<'a> SedaSession<'a> {
             star_schema: None,
             last_profile: None,
             k: engine.config().topk.k,
+            budget: None,
             stage: SessionStage::Empty,
         }
     }
@@ -95,9 +98,30 @@ impl<'a> SedaSession<'a> {
         self.k = k.max(1);
     }
 
+    /// Sets (or clears) the per-search [`Budget`] of this session.  With a
+    /// budget in place, every subsequent top-k search runs governed **with
+    /// degraded responses allowed**: an interactive explorer prefers a
+    /// flagged partial answer over an error, and the degradation is visible
+    /// through [`SedaSession::last_profile`]'s `degraded` flag.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.budget = budget;
+    }
+
+    /// The session's current search budget, if any.
+    pub fn budget(&self) -> Option<&Budget> {
+        self.budget.as_ref()
+    }
+
     /// The [`ExecProfile`] of the last search the session ran, if any.
     pub fn last_profile(&self) -> Option<&ExecProfile> {
         self.last_profile.as_ref()
+    }
+
+    fn request_context(&self) -> RequestContext {
+        match &self.budget {
+            Some(budget) => RequestContext::new(budget.clone()).allow_degraded(),
+            None => RequestContext::unlimited(),
+        }
     }
 
     fn stage_error(&self, operation: &'static str, required: &'static str) -> SedaError {
@@ -113,7 +137,12 @@ impl<'a> SedaSession<'a> {
         self.complete = None;
         self.star_schema = None;
         self.context_summary = Some(self.reader.context_summary(&query));
-        let (top_k, profile) = self.reader.top_k(&query, &self.selections, self.k);
+        let (top_k, profile) = self.reader.top_k_governed(
+            &query,
+            &self.selections,
+            self.k,
+            &self.request_context(),
+        )?;
         self.connection_summary = Some(self.reader.connection_summary(&top_k));
         self.last_profile = Some(profile);
         self.top_k = Some(top_k);
@@ -173,7 +202,12 @@ impl<'a> SedaSession<'a> {
             return Err(SedaError::UnknownTerm { term, terms: query.len() });
         }
         self.selections.select(term, paths);
-        let (top_k, profile) = self.reader.top_k(&query, &self.selections, self.k);
+        let (top_k, profile) = self.reader.top_k_governed(
+            &query,
+            &self.selections,
+            self.k,
+            &self.request_context(),
+        )?;
         self.connection_summary = Some(self.reader.connection_summary(&top_k));
         self.last_profile = Some(profile);
         self.top_k = Some(top_k);
@@ -404,6 +438,21 @@ mod tests {
             session.aggregate("no-such-fact", &CubeQuery::sum(&[], "x")).unwrap_err(),
             SedaError::UnknownFact("no-such-fact".into())
         );
+    }
+
+    #[test]
+    fn session_budget_degrades_instead_of_erroring() {
+        let e = engine();
+        let mut session = SedaSession::new(&e);
+        session.set_budget(Some(Budget::unlimited().with_max_sorted_accesses(0)));
+        assert!(session.budget().is_some());
+        session.submit_text(r#"(trade_country, *)"#).unwrap();
+        let profile = session.last_profile().unwrap();
+        assert!(profile.degraded, "an exhausted budget must flag the partial answer");
+        session.set_budget(None);
+        session.submit_text(r#"(trade_country, *)"#).unwrap();
+        assert!(!session.last_profile().unwrap().degraded);
+        assert!(session.last_profile().unwrap().budget_spent > 0);
     }
 
     #[test]

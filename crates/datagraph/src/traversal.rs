@@ -68,6 +68,15 @@ pub struct TraversalScratch {
     /// Total nodes visited by BFS runs through this scratch — the reference
     /// implementations plus the deep-query fallback (monotonic).
     pub bfs_visits: u64,
+    /// Optional work ceiling on `label_probes + bfs_visits`: once the sum
+    /// reaches the ceiling, BFS runs stop expanding (clipping is counted in
+    /// [`TraversalScratch::probe_clips`]).  Unreached nodes then read as
+    /// disconnected — a *degraded* answer, so only resource-governed callers
+    /// should arm this, and they must report the breach.  Label-only oracle
+    /// answers stay exact; the ceiling merely bounds fallback walks.
+    pub probe_ceiling: Option<u64>,
+    /// BFS runs clipped by [`TraversalScratch::probe_ceiling`] (monotonic).
+    pub probe_clips: u64,
 }
 
 impl TraversalScratch {
@@ -120,6 +129,15 @@ fn bfs_with(graph: &DataGraph, scratch: &mut TraversalScratch, source: u32, max_
     scratch.visit(source, 0);
     let mut head = 0;
     while head < scratch.queue.len() {
+        if let Some(ceiling) = scratch.probe_ceiling {
+            if scratch.label_probes + scratch.bfs_visits >= ceiling {
+                // Budget exhausted: stop expanding.  Nodes not yet reached
+                // read as disconnected, which governed callers surface as a
+                // degraded (prefix) answer rather than unbounded work.
+                scratch.probe_clips += 1;
+                return;
+            }
+        }
         let current = scratch.queue[head];
         head += 1;
         let depth = scratch.dist[current as usize];
@@ -723,6 +741,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn probe_ceiling_clips_bfs_and_disarms_cleanly() {
+        let (c, g) = setup();
+        let us_name = find(&c, "/country/name", "United States");
+        let sea_name = find(&c, "/sea/name", "Pacific Ocean");
+        let mut scratch = TraversalScratch::new();
+
+        // An exhausted ceiling makes BFS answers read as disconnected and
+        // counts the clip.
+        scratch.probe_ceiling = Some(scratch.label_probes + scratch.bfs_visits + 1);
+        assert_eq!(bfs_shortest_distance_with(&g, &mut scratch, us_name, sea_name, 10), None);
+        assert!(scratch.probe_clips > 0, "clipped BFS runs must be counted");
+
+        // Disarming restores exact answers through the same scratch.
+        scratch.probe_ceiling = None;
+        assert_eq!(bfs_shortest_distance_with(&g, &mut scratch, us_name, sea_name, 10), Some(4));
     }
 
     /// Reference BFS over `HashMap`s (the pre-CSR implementation), used to pin

@@ -32,7 +32,9 @@ pub mod searcher;
 pub mod types;
 
 pub use searcher::{SearchScratch, TopKSearcher};
-pub use types::{ResultTuple, SearchStats, TermInput, TopKConfig, TopKResult};
+pub use types::{
+    LimitBreach, ResultTuple, SearchLimits, SearchStats, TermInput, TopKConfig, TopKResult,
+};
 
 #[cfg(test)]
 mod proptests {

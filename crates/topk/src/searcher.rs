@@ -38,7 +38,9 @@ use seda_datagraph::{compactness_with, DataGraph, TraversalScratch};
 use seda_textindex::{NodeIndex, ScoredNode};
 use seda_xmlstore::{Collection, NodeId};
 
-use crate::types::{ResultTuple, SearchStats, TermInput, TopKConfig, TopKResult};
+use crate::types::{
+    LimitBreach, ResultTuple, SearchLimits, SearchStats, TermInput, TopKConfig, TopKResult,
+};
 
 /// Reusable buffers of the top-k search: posting lists, the flat candidate
 /// arenas of the join loop and the traversal scratch of the connectivity
@@ -183,9 +185,28 @@ impl<'a> TopKSearcher<'a> {
         config: &TopKConfig,
         scratch: &mut SearchScratch,
     ) -> TopKResult {
+        self.search_governed(terms, config, &SearchLimits::unlimited(), scratch).0
+    }
+
+    /// [`TopKSearcher::search_with`] under per-request resource ceilings.
+    ///
+    /// The [`SearchLimits`] ceilings are checked at the loop's existing
+    /// counter sites (sorted access, random access, tuple scoring, label
+    /// probes) plus a per-sorted-access deadline/cancellation test.  On a
+    /// breach the loop stops and returns the top-k prefix computed so far —
+    /// exact over the combinations enumerated up to the stop, thanks to TA's
+    /// monotone threshold — together with the tripped [`LimitBreach`];
+    /// `None` means the search ran to its normal termination.
+    pub fn search_governed(
+        &self,
+        terms: &[TermInput],
+        config: &TopKConfig,
+        limits: &SearchLimits,
+        scratch: &mut SearchScratch,
+    ) -> (TopKResult, Option<LimitBreach>) {
         let mut stats = SearchStats::default();
         if terms.is_empty() || config.k == 0 {
-            return TopKResult { tuples: Vec::new(), stats };
+            return (TopKResult { tuples: Vec::new(), stats }, None);
         }
 
         self.fill_term_lists(terms, scratch);
@@ -202,11 +223,19 @@ impl<'a> TopKSearcher<'a> {
             ..
         } = scratch;
         let label_probes_before = traversal.label_probes;
+        // Arm the BFS probe ceiling so even oracle fallbacks inside
+        // compactness checks respect the label-probe budget; disarmed before
+        // returning on every path out of the loop.
+        if let Some(max) = limits.max_label_probes {
+            traversal.probe_ceiling =
+                Some((label_probes_before + traversal.bfs_visits).saturating_add(max));
+        }
         let lists = &lists[..terms.len()];
         if lists.iter().any(Vec::is_empty) {
             // Some term has no match at all: the result is empty (Definition 4
             // requires every term to be satisfied).
-            return TopKResult { tuples: Vec::new(), stats };
+            traversal.probe_ceiling = None;
+            return (TopKResult { tuples: Vec::new(), stats }, None);
         }
         let m = lists.len();
         best_scores.clear();
@@ -216,13 +245,36 @@ impl<'a> TopKSearcher<'a> {
         kth_scores.clear();
 
         let mut buffer: BinaryHeap<HeapTuple> = BinaryHeap::new();
+        let mut breach: Option<LimitBreach> = None;
 
         'outer: loop {
             let mut advanced = false;
             for i in 0..m {
+                if let Some(deadline) = limits.deadline {
+                    if std::time::Instant::now() >= deadline {
+                        breach = Some(LimitBreach { resource: "deadline", spent: 0, budget: 0 });
+                        break 'outer;
+                    }
+                }
+                if let Some(cancel) = &limits.cancel {
+                    if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                        breach = Some(LimitBreach { resource: "cancelled", spent: 0, budget: 0 });
+                        break 'outer;
+                    }
+                }
                 let pos = positions[i];
                 if pos >= lists[i].len() {
                     continue;
+                }
+                if let Some(max) = limits.max_sorted_accesses {
+                    if stats.sorted_accesses >= max {
+                        breach = Some(LimitBreach {
+                            resource: "sorted accesses",
+                            spent: stats.sorted_accesses as u64,
+                            budget: max as u64,
+                        });
+                        break 'outer;
+                    }
                 }
                 positions[i] += 1;
                 advanced = true;
@@ -277,8 +329,28 @@ impl<'a> TopKSearcher<'a> {
                         combo_nodes.truncate(keep * (j + 1));
                     }
                 }
+                if let Some(max) = limits.max_random_accesses {
+                    if stats.random_accesses > max {
+                        breach = Some(LimitBreach {
+                            resource: "random accesses",
+                            spent: stats.random_accesses as u64,
+                            budget: max as u64,
+                        });
+                        break 'outer;
+                    }
+                }
                 if combo_nodes.len() == combo_scores.len() * m {
                     for (c, &content) in combo_scores.iter().enumerate() {
+                        if let Some(max) = limits.max_tuples_scored {
+                            if stats.tuples_scored >= max {
+                                breach = Some(LimitBreach {
+                                    resource: "candidate tuples",
+                                    spent: stats.tuples_scored as u64,
+                                    budget: max as u64,
+                                });
+                                break 'outer;
+                            }
+                        }
                         let nodes = &combo_nodes[c * m..(c + 1) * m];
                         stats.tuples_scored += 1;
                         let compact =
@@ -305,6 +377,13 @@ impl<'a> TopKSearcher<'a> {
                         if stats.tuples_scored >= config.candidate_limit {
                             break 'outer;
                         }
+                    }
+                }
+                if let Some(max) = limits.max_label_probes {
+                    let spent = traversal.label_probes - label_probes_before;
+                    if spent > max {
+                        breach = Some(LimitBreach { resource: "label probes", spent, budget: max });
+                        break 'outer;
                     }
                 }
 
@@ -343,6 +422,7 @@ impl<'a> TopKSearcher<'a> {
                 break;
             }
         }
+        traversal.probe_ceiling = None;
         stats.label_probes = traversal.label_probes - label_probes_before;
 
         let mut tuples: Vec<ResultTuple> =
@@ -351,7 +431,7 @@ impl<'a> TopKSearcher<'a> {
         tuples.reverse();
         tuples.dedup_by(|a, b| a.nodes == b.nodes);
         tuples.truncate(config.k);
-        TopKResult { tuples, stats }
+        (TopKResult { tuples, stats }, breach)
     }
 
     /// Exhaustive baseline with a fresh scratch: enumerates every combination
@@ -675,6 +755,110 @@ mod tests {
         assert!(small_k.stats.tuples_scored <= naive.stats.tuples_scored);
         assert!(small_k.stats.label_probes > 0, "connectivity checks are accounted");
         assert!(naive.stats.label_probes > 0);
+    }
+
+    #[test]
+    fn unlimited_governed_search_matches_ungoverned() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let config = TopKConfig::with_k(5);
+        let plain = searcher.search(&terms, &config);
+        let (governed, breach) = searcher.search_governed(
+            &terms,
+            &config,
+            &SearchLimits::unlimited(),
+            &mut SearchScratch::new(),
+        );
+        assert!(breach.is_none());
+        assert_eq!(plain.tuples, governed.tuples);
+        assert_eq!(plain.stats, governed.stats);
+    }
+
+    #[test]
+    fn each_search_limit_breaches_with_its_resource_name() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let config = TopKConfig::with_k(5);
+        let mut scratch = SearchScratch::new();
+        let cases: Vec<(&str, SearchLimits)> = vec![
+            (
+                "sorted accesses",
+                SearchLimits { max_sorted_accesses: Some(0), ..SearchLimits::unlimited() },
+            ),
+            (
+                "random accesses",
+                SearchLimits { max_random_accesses: Some(0), ..SearchLimits::unlimited() },
+            ),
+            (
+                "candidate tuples",
+                SearchLimits { max_tuples_scored: Some(0), ..SearchLimits::unlimited() },
+            ),
+            (
+                "label probes",
+                SearchLimits { max_label_probes: Some(0), ..SearchLimits::unlimited() },
+            ),
+            (
+                "deadline",
+                SearchLimits {
+                    deadline: Some(std::time::Instant::now()),
+                    ..SearchLimits::unlimited()
+                },
+            ),
+        ];
+        for (resource, limits) in cases {
+            let (result, breach) = searcher.search_governed(&terms, &config, &limits, &mut scratch);
+            let breach = breach.unwrap_or_else(|| panic!("{resource} limit must trip"));
+            assert_eq!(breach.resource, resource);
+            // The prefix is well-formed even when empty.
+            for t in &result.tuples {
+                assert_eq!(t.nodes.len(), terms.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let flag = Arc::new(AtomicBool::new(true));
+        let limits = SearchLimits { cancel: Some(flag), ..SearchLimits::unlimited() };
+        let (result, breach) = searcher.search_governed(
+            &query1_terms(&c),
+            &TopKConfig::with_k(5),
+            &limits,
+            &mut SearchScratch::new(),
+        );
+        assert_eq!(breach.expect("cancelled search must report a breach").resource, "cancelled");
+        assert!(result.tuples.is_empty());
+    }
+
+    #[test]
+    fn generous_limits_do_not_change_the_result() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let config = TopKConfig::with_k(5);
+        let limits = SearchLimits {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(600)),
+            max_sorted_accesses: Some(usize::MAX),
+            max_random_accesses: Some(usize::MAX),
+            max_tuples_scored: Some(usize::MAX),
+            max_label_probes: Some(u64::MAX),
+            cancel: Some(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false))),
+        };
+        assert!(!limits.is_unlimited());
+        let (governed, breach) =
+            searcher.search_governed(&terms, &config, &limits, &mut SearchScratch::new());
+        assert!(breach.is_none());
+        assert_eq!(governed.tuples, searcher.search(&terms, &config).tuples);
     }
 
     #[test]

@@ -70,6 +70,68 @@ impl TopKConfig {
     }
 }
 
+/// Resource ceilings enforced inside the Threshold-Algorithm loop by
+/// [`crate::TopKSearcher::search_governed`].
+///
+/// Every field defaults to "unlimited"; the searcher only pays for the checks
+/// whose ceilings are set.  Breaches stop the loop at the next check point and
+/// are reported as a [`LimitBreach`] alongside the prefix computed so far —
+/// TA's monotone threshold makes that prefix an exact top-k over the
+/// combinations enumerated up to the stop.
+#[derive(Debug, Clone, Default)]
+pub struct SearchLimits {
+    /// Hard wall-clock deadline; checked once per sorted access.
+    pub deadline: Option<std::time::Instant>,
+    /// Ceiling on entries consumed from sorted posting lists.
+    pub max_sorted_accesses: Option<usize>,
+    /// Ceiling on random-access score probes.
+    pub max_random_accesses: Option<usize>,
+    /// Ceiling on candidate tuples scored (connectivity + compactness).
+    pub max_tuples_scored: Option<usize>,
+    /// Ceiling on label entries scanned by connectivity-oracle probes.  Also
+    /// arms the traversal scratch's BFS probe ceiling so oracle fallbacks
+    /// cannot run unbounded.
+    pub max_label_probes: Option<u64>,
+    /// Cooperative cancellation flag; checked once per sorted access.  A
+    /// breach is reported with resource name `"cancelled"`.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl SearchLimits {
+    /// Limits that never trip — [`crate::TopKSearcher::search_with`] runs
+    /// under these.
+    pub fn unlimited() -> Self {
+        SearchLimits::default()
+    }
+
+    /// True when no ceiling is set (the governed loop degenerates to the
+    /// ungoverned one except for a handful of `is_some` tests).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_sorted_accesses.is_none()
+            && self.max_random_accesses.is_none()
+            && self.max_tuples_scored.is_none()
+            && self.max_label_probes.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// A tripped [`SearchLimits`] ceiling: which resource ran out, how much was
+/// spent when the loop stopped, and what the ceiling was.
+///
+/// For the `"deadline"` and `"cancelled"` resources the searcher has no
+/// request-relative clock, so `spent`/`budget` are reported as `0`; the
+/// serving layer rebuilds them from its `RequestContext`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitBreach {
+    /// Human-readable resource name (e.g. `"sorted accesses"`).
+    pub resource: &'static str,
+    /// Amount consumed when the search stopped.
+    pub spent: u64,
+    /// The configured ceiling.
+    pub budget: u64,
+}
+
 /// A scored result tuple `<n1, …, nm>` (Definition 4).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResultTuple {

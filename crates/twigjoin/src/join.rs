@@ -110,12 +110,31 @@ pub fn cross_twig_join(
     right: &TwigMatches,
     predicates: &[JoinPredicate],
 ) -> JoinedMatches {
+    cross_twig_join_bounded(collection, graph, left, right, predicates, None).0
+}
+
+/// [`cross_twig_join`] under a result-row ceiling.
+///
+/// When `max_rows` is set, the join stops once more than `max_rows` distinct
+/// rows have been produced, keeps the first `max_rows` rows (in the join's
+/// deterministic enumeration order after sort + dedup), and reports the clip
+/// in the returned flag.  `(_, false)` means the join ran to completion and
+/// the result equals [`cross_twig_join`]'s.
+pub fn cross_twig_join_bounded(
+    collection: &Collection,
+    graph: &DataGraph,
+    left: &TwigMatches,
+    right: &TwigMatches,
+    predicates: &[JoinPredicate],
+    max_rows: Option<usize>,
+) -> (JoinedMatches, bool) {
+    let mut clipped = false;
     let mut result = JoinedMatches {
         output_nodes: left.output_nodes.iter().chain(right.output_nodes.iter()).copied().collect(),
         rows: Vec::new(),
     };
     if left.is_empty() || right.is_empty() {
-        return result;
+        return (result, false);
     }
 
     // Pick the first value-equality predicate as the hash-join key.
@@ -168,10 +187,23 @@ pub fn cross_twig_join(
         let mut row = lrow.clone();
         row.extend(rrow.iter().copied());
         result.rows.push(row);
+        if let Some(max) = max_rows {
+            if result.rows.len() > max {
+                // Dedup before declaring a breach: duplicate candidate rows
+                // must not trip the ceiling.
+                result.rows.sort();
+                result.rows.dedup();
+                if result.rows.len() > max {
+                    result.rows.truncate(max);
+                    clipped = true;
+                    break;
+                }
+            }
+        }
     }
     result.rows.sort();
     result.rows.dedup();
-    result
+    (result, clipped)
 }
 
 #[cfg(test)]
@@ -292,6 +324,32 @@ mod tests {
         let right = evaluate_twig(&c, &TwigPattern::from_path("/country/name").unwrap());
         let joined = cross_twig_join(&c, &g, &left, &right, &[]);
         assert_eq!(joined.len(), left.len() * right.len());
+    }
+
+    #[test]
+    fn bounded_join_clips_rows_and_reports_it() {
+        let (c, g) = setup();
+        let left = evaluate_twig(&c, &TwigPattern::from_path("/sea/name").unwrap());
+        let right = evaluate_twig(&c, &TwigPattern::from_path("/country/name").unwrap());
+        let full = cross_twig_join(&c, &g, &left, &right, &[]);
+        assert!(full.len() >= 2, "fixture must produce a joinable cross product");
+
+        // A generous ceiling changes nothing and reports no clip.
+        let (unclipped, clipped) =
+            cross_twig_join_bounded(&c, &g, &left, &right, &[], Some(full.len()));
+        assert!(!clipped);
+        assert_eq!(unclipped, full);
+
+        // A tight ceiling keeps a prefix of the full result and says so.
+        let (bounded, clipped) = cross_twig_join_bounded(&c, &g, &left, &right, &[], Some(1));
+        assert!(clipped);
+        assert_eq!(bounded.len(), 1);
+        assert!(full.rows.contains(&bounded.rows[0]));
+
+        // A zero ceiling yields an empty, clipped result.
+        let (none, clipped) = cross_twig_join_bounded(&c, &g, &left, &right, &[], Some(0));
+        assert!(clipped);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod join;
 pub mod pattern;
 
 pub use eval::{evaluate_twig, TwigMatches};
-pub use join::{cross_twig_join, JoinPredicate, JoinedMatches};
+pub use join::{cross_twig_join, cross_twig_join_bounded, JoinPredicate, JoinedMatches};
 pub use pattern::{Axis, TwigNode, TwigParseError, TwigPattern};
 
 #[cfg(test)]

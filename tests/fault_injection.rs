@@ -1,0 +1,176 @@
+//! Fault-injection harness: every named fault site in
+//! [`seda_core::faults::FAULT_SITES`], when armed, must surface as a typed
+//! error (never a process abort) and leave the engine fully serviceable for
+//! the next request.
+//!
+//! Run with `cargo test -p seda --features failpoints`.
+
+#![cfg(feature = "failpoints")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use seda_core::faults::{arm, disarm_all, FaultAction};
+use seda_core::{
+    Budget, ContextSelections, EngineConfig, RequestContext, SedaEngine, SedaError, SedaQuery,
+    SedaRequest,
+};
+use seda_datagen::{factbook, FactbookConfig};
+use seda_olap::Registry;
+
+/// The fault registry is process-global, so tests in this binary must not
+/// overlap: each one holds this guard while a site is armed.
+fn serialise() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn engine_with_parallelism(parallelism: usize) -> Result<SedaEngine, SedaError> {
+    let collection =
+        factbook::generate(&FactbookConfig::paper_scaled(12, 3)).expect("generate factbook");
+    SedaEngine::build(
+        collection,
+        Registry::factbook_defaults(),
+        EngineConfig { parallelism, ..EngineConfig::default() },
+    )
+}
+
+fn topk_request() -> SedaRequest {
+    SedaRequest::parse(r#"TOPK 5 FOR (*, "United States") AND (trade_country, *)"#)
+        .expect("topk request parses")
+}
+
+const SOURCES: [(&str, &str); 2] = [
+    ("a.xml", "<country><name>Andorra</name></country>"),
+    ("b.xml", "<country><name>Belize</name></country>"),
+];
+
+#[test]
+fn parse_site_faults_surface_as_internal_and_build_recovers() {
+    let _guard = serialise();
+    for action in [FaultAction::Error, FaultAction::Panic] {
+        arm("parse", action);
+        let built = SedaEngine::build_from_sources(
+            SOURCES,
+            Registry::factbook_defaults(),
+            EngineConfig::default(),
+        );
+        assert!(
+            matches!(built, Err(SedaError::Internal(_))),
+            "armed parse site ({action:?}) must fail the build"
+        );
+    }
+    disarm_all();
+    // The fault consumed its arming: the identical build now succeeds.
+    let engine = SedaEngine::build_from_sources(
+        SOURCES,
+        Registry::factbook_defaults(),
+        EngineConfig::default(),
+    )
+    .expect("unarmed build succeeds");
+    assert_eq!(engine.collection().len(), 2);
+}
+
+#[test]
+fn build_site_faults_fail_sequential_and_sharded_builds_cleanly() {
+    let _guard = serialise();
+    // Sequential path reaches "oracle-build" only.
+    arm("oracle-build", FaultAction::Error);
+    assert!(
+        matches!(engine_with_parallelism(1), Err(SedaError::Internal(_))),
+        "armed oracle-build must fail the sequential build"
+    );
+
+    // Sharded path reaches both merge-side sites; a panic at either must be
+    // contained by the build facade.
+    for site in ["oracle-build", "shard-merge"] {
+        arm(site, FaultAction::Panic);
+        assert!(
+            matches!(engine_with_parallelism(2), Err(SedaError::Internal(_))),
+            "armed {site} must fail the sharded build"
+        );
+    }
+    disarm_all();
+    assert!(engine_with_parallelism(2).is_ok(), "unarmed sharded build succeeds");
+}
+
+#[test]
+fn scratch_lock_panic_poisons_and_the_engine_recovers_in_place() {
+    let _guard = serialise();
+    let engine = engine_with_parallelism(1).expect("engine build");
+    let query = SedaQuery::parse(r#"(*, "United States") AND (trade_country, *)"#).unwrap();
+    let baseline = engine.top_k(&query, &ContextSelections::none(), 5);
+    assert!(!baseline.tuples.is_empty(), "workload must produce matches");
+
+    // The site fires while the shared scratch mutex is held, so the panic
+    // poisons it.  `engine.top_k` is an infallible signature: the panic
+    // propagates to the caller here (readers route through catch_unwind).
+    arm("scratch-lock", FaultAction::Panic);
+    let panicked =
+        catch_unwind(AssertUnwindSafe(|| engine.top_k(&query, &ContextSelections::none(), 5)));
+    assert!(panicked.is_err(), "armed scratch-lock must panic through top_k");
+    disarm_all();
+
+    // The next query recovers the poisoned mutex in place (clear + reuse) —
+    // it must NOT fall back to a throwaway fresh scratch.
+    let recovered = engine.top_k(&query, &ContextSelections::none(), 5);
+    assert_eq!(recovered.tuples, baseline.tuples, "recovery must not change answers");
+    assert_eq!(
+        engine.fresh_scratch_fallbacks(),
+        0,
+        "poison recovery must reuse the shared scratch, not abandon it"
+    );
+}
+
+#[test]
+fn mid_search_panic_becomes_internal_and_the_reader_keeps_serving() {
+    let _guard = serialise();
+    let engine = engine_with_parallelism(1).expect("engine build");
+    let mut reader = engine.reader();
+    let request = topk_request();
+
+    arm("mid-search", FaultAction::Panic);
+    let err = reader.execute(&request).expect_err("armed mid-search must fail the request");
+    assert!(matches!(err, SedaError::Internal(_)), "{err:?}");
+    disarm_all();
+
+    // Same reader handle, same request: the panic was contained and the
+    // scratch reset, so the next execution answers normally.
+    let response = reader.execute(&request).expect("reader recovered");
+    assert!(!response.top_k().expect("top-k payload").tuples.is_empty());
+}
+
+#[test]
+fn mid_search_delay_trips_the_request_deadline() {
+    let _guard = serialise();
+    let engine = engine_with_parallelism(1).expect("engine build");
+    let mut reader = engine.reader();
+    let ctx = RequestContext::new(Budget::unlimited().with_deadline(Duration::from_millis(5)));
+
+    arm("mid-search", FaultAction::Delay(Duration::from_millis(50)));
+    let err = reader
+        .execute_governed(&topk_request(), &ctx)
+        .expect_err("delayed search must breach the deadline");
+    assert!(matches!(err, SedaError::Limit { resource: "deadline", .. }), "{err:?}");
+    disarm_all();
+}
+
+#[test]
+fn batch_isolation_confines_an_injected_panic_to_one_request() {
+    let _guard = serialise();
+    let engine = engine_with_parallelism(1).expect("engine build");
+    let requests = vec![topk_request(), topk_request(), topk_request()];
+
+    // One-shot arming: exactly one of the batch's requests hits the fault;
+    // per-item isolation must keep the other two healthy.
+    arm("mid-search", FaultAction::Panic);
+    let results = engine.execute_batch(&requests, 2);
+    disarm_all();
+    assert_eq!(results.len(), requests.len());
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(failures, 1, "exactly one request absorbs the one-shot fault: {results:?}");
+    for ok in results.iter().flatten() {
+        assert!(!ok.top_k().expect("top-k payload").tuples.is_empty());
+    }
+}

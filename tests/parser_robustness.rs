@@ -1,0 +1,49 @@
+//! Parser robustness: [`seda_xmlstore::parse_collection`] must return a typed
+//! result — never panic — on arbitrarily mangled input.  The strategy mangles
+//! a well-formed base document byte-by-byte (overwrites, truncation, garbage
+//! suffixes), which reaches far deeper into the tokenizer's state machine
+//! than fully random strings would.
+
+use proptest::prelude::*;
+use seda_xmlstore::parse_collection;
+
+const BASE: &str = r#"<country id="c1"><name>Andorra</name>
+  <economy><import_partners><item seq="1">
+    <trade_country ref="c2">Spain</trade_country>
+    <percentage>48.7</percentage>
+  </item></import_partners></economy>
+</country>"#;
+
+/// Parses `xml` and requires a non-panicking outcome; `Ok` and `Err` are
+/// both acceptable, aborting the process is not.
+fn parse_never_panics(label: &str, xml: &str) {
+    let _ = parse_collection([(label, xml)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn byte_mangled_documents_never_panic(
+        edits in proptest::collection::vec((0usize..BASE.len(), any::<u8>()), 1..8),
+        truncate_at in 1usize..BASE.len(),
+    ) {
+        let mut bytes = BASE.as_bytes().to_vec();
+        for &(position, byte) in &edits {
+            bytes[position] = byte;
+        }
+        bytes.truncate(truncate_at);
+        let mangled = String::from_utf8_lossy(&bytes);
+        parse_never_panics("mangled.xml", &mangled);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let garbage = String::from_utf8_lossy(&bytes);
+        parse_never_panics("garbage.xml", &garbage);
+        // Garbage grafted onto a well-formed prefix exercises the recovery
+        // paths after the tokenizer has committed to element state.
+        let grafted = format!("<country><name>{garbage}</name>{garbage}");
+        parse_never_panics("grafted.xml", &grafted);
+    }
+}

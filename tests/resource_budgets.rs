@@ -1,0 +1,223 @@
+//! Resource-governed execution: every [`Budget`] ceiling must surface as a
+//! typed [`SedaError::Limit`] naming the exhausted resource (or as a flagged
+//! degraded prefix when the caller opts in), cancellation must surface as
+//! [`SedaError::Cancelled`], and a breached request must leave the engine
+//! fully serviceable.
+
+use std::time::Duration;
+
+use seda_core::{
+    Budget, CancelToken, EngineConfig, RequestContext, SedaEngine, SedaError, SedaRequest,
+};
+use seda_datagen::{factbook, FactbookConfig};
+use seda_olap::Registry;
+
+fn engine() -> SedaEngine {
+    let collection =
+        factbook::generate(&FactbookConfig::paper_scaled(20, 3)).expect("generate factbook");
+    SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+        .expect("engine build")
+}
+
+fn topk_request() -> SedaRequest {
+    SedaRequest::parse(
+        r#"TOPK 5 FOR (*, "United States") AND (trade_country, *) AND (percentage, *)"#,
+    )
+    .expect("topk request parses")
+}
+
+fn results_request() -> SedaRequest {
+    SedaRequest::parse(
+        r#"RESULTS FOR (*, "United States") AND (trade_country, *) AND (percentage, *)
+           WITH 0 IN /country/name
+           WITH 1 IN /country/economy/import_partners/item/trade_country
+           WITH 2 IN /country/economy/import_partners/item/percentage"#,
+    )
+    .expect("results request parses")
+}
+
+/// Each budget knob, driven to zero, must produce `SedaError::Limit` naming
+/// exactly its resource — never a panic, never a silent clip.
+#[test]
+fn each_exhausted_budget_names_its_resource() {
+    let engine = engine();
+    let mut reader = engine.reader();
+    let topk = topk_request();
+    let results = results_request();
+    let cases: Vec<(Budget, &SedaRequest, &str)> = vec![
+        (Budget::unlimited().with_max_sorted_accesses(0), &topk, "sorted accesses"),
+        (Budget::unlimited().with_max_random_accesses(0), &topk, "random accesses"),
+        (Budget::unlimited().with_max_candidates(0), &topk, "candidate tuples"),
+        (Budget::unlimited().with_max_label_probes(0), &topk, "label probes"),
+        (Budget::unlimited().with_deadline(Duration::ZERO), &topk, "deadline"),
+        (Budget::unlimited().with_max_rows(0), &topk, "result rows"),
+        (Budget::unlimited().with_max_rows(1), &results, "result rows"),
+    ];
+
+    for (budget, request, resource) in cases {
+        let ctx = RequestContext::new(budget.clone());
+        let err = reader
+            .execute_governed(request, &ctx)
+            .expect_err(&format!("budget {budget:?} must breach"));
+        match err {
+            SedaError::Limit { resource: named, .. } => {
+                assert_eq!(named, resource, "budget {budget:?} must name its resource")
+            }
+            other => panic!("budget {budget:?} must yield Limit, got {other:?}"),
+        }
+    }
+
+    // After every breach the reader and engine still answer correctly.
+    let response = reader.execute(&topk).expect("engine remains serviceable");
+    assert!(!response.top_k().expect("top-k payload").tuples.is_empty());
+}
+
+#[test]
+fn twig_and_cube_budgets_cap_their_shapes() {
+    let engine = engine();
+    let mut reader = engine.reader();
+    let twig = SedaRequest::parse("TWIG /country/economy/import_partners/item/trade_country")
+        .expect("twig request parses");
+    let full = reader.execute(&twig).expect("ungoverned twig");
+    let full_rows = full.table().expect("table payload").len();
+    assert!(full_rows > 1, "workload must produce enough twig matches to cap");
+
+    let ctx = RequestContext::new(Budget::unlimited().with_max_twig_matches(1));
+    let err = reader.execute_governed(&twig, &ctx).expect_err("twig ceiling must breach");
+    assert!(
+        matches!(err, SedaError::Limit { resource: "twig matches", spent, budget: 1 } if spent == full_rows),
+        "{err:?}"
+    );
+
+    // Degraded opt-in keeps the prefix instead.
+    let ctx = RequestContext::new(Budget::unlimited().with_max_twig_matches(1)).allow_degraded();
+    let degraded = reader.execute_governed(&twig, &ctx).expect("degraded twig");
+    assert!(degraded.profile.degraded);
+    assert_eq!(degraded.table().expect("table payload").len(), 1);
+    assert_eq!(degraded.table().unwrap().rows[0], full.table().unwrap().rows[0]);
+
+    let cube = SedaRequest::parse(
+        r#"CUBE import-trade-percentage BY import-country AGG sum
+           FOR (*, "United States") AND (trade_country, *) AND (percentage, *)
+           WITH 0 IN /country/name
+           WITH 1 IN /country/economy/import_partners/item/trade_country
+           WITH 2 IN /country/economy/import_partners/item/percentage"#,
+    )
+    .expect("cube request parses");
+    let full_cells = reader.execute(&cube).expect("ungoverned cube").cube().unwrap().len();
+    assert!(full_cells > 1, "workload must produce enough cube cells to cap");
+    let ctx = RequestContext::new(Budget::unlimited().with_max_cube_cells(1));
+    let err = reader.execute_governed(&cube, &ctx).expect_err("cube ceiling must breach");
+    assert!(matches!(err, SedaError::Limit { resource: "cube cells", budget: 1, .. }), "{err:?}");
+    let ctx = RequestContext::new(Budget::unlimited().with_max_cube_cells(1)).allow_degraded();
+    let degraded = reader.execute_governed(&cube, &ctx).expect("degraded cube");
+    assert!(degraded.profile.degraded);
+    assert_eq!(degraded.cube().expect("cube payload").len(), 1);
+}
+
+#[test]
+fn degraded_topk_is_a_prefix_of_the_full_answer() {
+    let engine = engine();
+    let mut reader = engine.reader();
+    let request = topk_request();
+    let full = reader.execute(&request).expect("ungoverned run");
+    let full_tuples = &full.top_k().expect("top-k payload").tuples;
+
+    // Enough random accesses to enumerate a few combinations, not all.
+    let ctx = RequestContext::new(Budget::unlimited().with_max_random_accesses(4)).allow_degraded();
+    let degraded = reader.execute_governed(&request, &ctx).expect("degraded run");
+    assert!(degraded.profile.degraded, "breach with degraded opt-in must flag the profile");
+    let tuples = &degraded.top_k().expect("top-k payload").tuples;
+    assert!(tuples.len() <= full_tuples.len());
+    for (got, want) in tuples.iter().zip(full_tuples) {
+        assert_eq!(got.nodes, want.nodes, "degraded prefix must match the full ranking");
+    }
+    assert!(degraded.profile.budget_spent > 0);
+}
+
+#[test]
+fn generous_budgets_change_nothing() {
+    let engine = engine();
+    let mut reader = engine.reader();
+    let request = topk_request();
+    let ungoverned = reader.execute(&request).expect("ungoverned run");
+    let generous = Budget::unlimited()
+        .with_deadline(Duration::from_secs(3600))
+        .with_max_sorted_accesses(usize::MAX)
+        .with_max_random_accesses(usize::MAX)
+        .with_max_candidates(usize::MAX)
+        .with_max_label_probes(u64::MAX)
+        .with_max_rows(usize::MAX)
+        .with_max_twig_matches(usize::MAX)
+        .with_max_cube_cells(usize::MAX);
+    let ctx = RequestContext::new(generous).with_cancel_token(CancelToken::new());
+    let governed = reader.execute_governed(&request, &ctx).expect("governed run");
+    assert!(!governed.profile.degraded);
+    assert_eq!(governed.payload, ungoverned.payload, "generous ceilings must not change answers");
+    assert!(governed.profile.budget_spent > 0);
+}
+
+#[test]
+fn cancellation_surfaces_as_cancelled() {
+    let engine = engine();
+    let mut reader = engine.reader();
+    let token = CancelToken::new();
+    token.cancel();
+    let ctx = RequestContext::unlimited().with_cancel_token(token);
+    let err = reader.execute_governed(&topk_request(), &ctx).expect_err("cancelled request");
+    assert_eq!(err, SedaError::Cancelled);
+    // The same reader still serves uncancelled requests.
+    assert!(reader.execute(&topk_request()).is_ok());
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Tiny budgets never panic: execution returns either a typed Limit
+        /// breach from the budget catalog or a (possibly complete) answer,
+        /// and the degraded-opt-in variant of the same budget never errors
+        /// on a pure budget breach.
+        #[test]
+        fn tiny_budgets_yield_typed_limits_or_answers(
+            sorted in 0usize..3,
+            random in 0usize..3,
+            candidates in 0usize..3,
+            probes in 0u64..3,
+            rows in 0usize..3,
+        ) {
+            let engine = engine();
+            let mut reader = engine.reader();
+            let budget = Budget::unlimited()
+                .with_max_sorted_accesses(sorted)
+                .with_max_random_accesses(random)
+                .with_max_candidates(candidates)
+                .with_max_label_probes(probes)
+                .with_max_rows(rows);
+            let request = topk_request();
+            let strict = RequestContext::new(budget.clone());
+            match reader.execute_governed(&request, &strict) {
+                Ok(response) => prop_assert!(!response.profile.degraded),
+                Err(SedaError::Limit { resource, .. }) => prop_assert!(
+                    [
+                        "sorted accesses",
+                        "random accesses",
+                        "candidate tuples",
+                        "label probes",
+                        "result rows",
+                    ]
+                    .contains(&resource),
+                    "unexpected resource {resource:?}"
+                ),
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+            let degraded = RequestContext::new(budget).allow_degraded();
+            let response = reader.execute_governed(&request, &degraded);
+            prop_assert!(response.is_ok(), "degraded budgets never error: {response:?}");
+            prop_assert!(response.unwrap().profile.rows <= rows.max(5));
+        }
+    }
+}
