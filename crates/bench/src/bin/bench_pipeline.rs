@@ -24,13 +24,26 @@ fn main() {
 
     let started = Instant::now();
     let mut measurements: Vec<PipelineMeasurement> = Vec::new();
+    let mut builds: Vec<String> = Vec::new();
     for workload in topk_workloads() {
         eprintln!("workload {} ({} docs) ...", workload.name, workload.engine.collection().len());
+        // The build-time structural audit cost (BuildProfile::verify_ms) is
+        // part of the committed report so audit-cost regressions are
+        // reviewable alongside the query latencies.
+        let profile = workload.engine.build_profile();
+        builds.push(format!(
+            "    {{\"workload\": {:?}, \"documents\": {}, \"build_s\": {:.3}, \
+             \"verify_ms\": {:.3}}}",
+            workload.name, profile.documents, profile.total_secs, profile.verify_ms,
+        ));
         measurements.extend(measure_pipeline(&workload));
     }
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"label\": {:?},\n", label));
+    json.push_str("  \"builds\": [\n");
+    json.push_str(&builds.join(",\n"));
+    json.push_str("\n  ],\n");
     json.push_str("  \"runs\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&m.to_json("    "));

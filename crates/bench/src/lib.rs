@@ -8,9 +8,6 @@
 //! small and the same reports can be produced by examples and integration
 //! tests.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use seda_core::{BuildProfile, EngineConfig, SedaEngine, SedaQuery, SedaRequest, SedaResponse};
 use seda_datagen::{
     factbook, googlebase, mondial, recipeml, Dataset, FactbookConfig, GoogleBaseConfig,

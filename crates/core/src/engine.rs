@@ -15,7 +15,6 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, TryLockError};
-use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -32,7 +31,7 @@ use seda_xmlstore::{parse_collection, Collection, DocId, NodeId, PathId};
 
 use crate::error::SedaError;
 use crate::faults;
-use crate::govern::RequestContext;
+use crate::govern::{RequestContext, Stopwatch};
 use crate::parallel::{effective_parallelism, panic_message, parallel_map, WorkerPanic};
 use crate::query::{ContextSpec, SedaQuery};
 use crate::summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
@@ -104,13 +103,13 @@ pub struct PhaseProfile {
 }
 
 impl PhaseProfile {
-    fn finish_shards(start: Instant) -> (Self, Instant) {
-        let now = Instant::now();
-        (PhaseProfile { shard_secs: (now - start).as_secs_f64(), merge_secs: 0.0 }, now)
+    fn finish_shards(start: Stopwatch) -> (Self, Stopwatch) {
+        let (shard_secs, merge_start) = start.split();
+        (PhaseProfile { shard_secs, merge_secs: 0.0 }, merge_start)
     }
 
-    fn finish_merge(&mut self, merge_start: Instant) {
-        self.merge_secs = merge_start.elapsed().as_secs_f64();
+    fn finish_merge(&mut self, merge_start: Stopwatch) {
+        self.merge_secs = merge_start.elapsed_secs();
     }
 
     /// Total seconds spent on this substrate.
@@ -148,7 +147,11 @@ pub struct BuildProfile {
     /// Bytes held by the precomputed connectivity-oracle labels (see
     /// [`seda_datagraph::ConnectivityIndex::label_bytes`]).
     pub label_bytes: usize,
-    /// End-to-end engine build wall time.
+    /// Milliseconds spent on the post-build structural audit
+    /// ([`SedaEngine::verify`]) that every build runs before handing the
+    /// engine to the caller.
+    pub verify_ms: f64,
+    /// End-to-end engine build wall time (includes the post-build audit).
     pub total_secs: f64,
 }
 
@@ -191,6 +194,7 @@ impl BuildProfile {
         out.push_str(&row("dataguides", &self.guides));
         out.push_str(&format!("  {:<14} {:>9.2}ms\n", "guide links", self.links_secs * 1e3));
         out.push_str(&format!("  {:<14} {:>9} bytes\n", "oracle labels", self.label_bytes));
+        out.push_str(&format!("  {:<14} {:>9.2}ms\n", "audit", self.verify_ms));
         out
     }
 }
@@ -303,7 +307,7 @@ impl SedaEngine {
         registry: Registry,
         config: EngineConfig,
     ) -> Result<Self, SedaError> {
-        let build_start = Instant::now();
+        let build_start = Stopwatch::start();
         // More workers than documents cannot help; clamping keeps the
         // reported parallelism honest and avoids spawning idle workers for
         // tiny collections.
@@ -322,13 +326,12 @@ impl SedaEngine {
             Self::build_substrates_sharded(&collection, &config, threads, &mut profile)?
         };
 
-        let links_start = Instant::now();
+        let links_start = Stopwatch::start();
         let links = guide_links(&collection, &graph, &guides);
-        profile.links_secs = links_start.elapsed().as_secs_f64();
+        profile.links_secs = links_start.elapsed_secs();
         profile.label_bytes = graph.connectivity().label_bytes();
-        profile.total_secs = build_start.elapsed().as_secs_f64();
 
-        Ok(SedaEngine {
+        let mut engine = SedaEngine {
             collection,
             node_index,
             context_index,
@@ -341,7 +344,27 @@ impl SedaEngine {
             query_scratch: Mutex::new(SearchScratch::new()),
             shared_scratch_queries: AtomicUsize::new(0),
             fresh_scratch_fallbacks: AtomicUsize::new(0),
-        })
+        };
+
+        // Post-build audit: a freshly built engine must satisfy every
+        // substrate invariant; a violation here means the build itself is
+        // broken, which is an internal defect rather than a user error.
+        let verify_start = Stopwatch::start();
+        if let Err(violations) = engine.verify() {
+            let first = &violations[0];
+            return Err(SedaError::Internal(format!(
+                "freshly built engine failed its structural audit with {} violation(s); \
+                 first: [{}/{}] {}",
+                violations.len(),
+                first.substrate,
+                first.invariant,
+                first.detail
+            )));
+        }
+        engine.profile.verify_ms = verify_start.elapsed_secs() * 1e3;
+        engine.profile.total_secs = build_start.elapsed_secs();
+
+        Ok(engine)
     }
 
     /// Single-pass sequential builds of all four substrates (the
@@ -351,20 +374,20 @@ impl SedaEngine {
         config: &EngineConfig,
         profile: &mut BuildProfile,
     ) -> Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet), SedaError> {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         faults::fire("oracle-build")?;
         let graph = DataGraph::build(collection, &config.graph);
         (profile.graph, _) = PhaseProfile::finish_shards(t);
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let node_index = NodeIndex::build(collection);
         (profile.node_index, _) = PhaseProfile::finish_shards(t);
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let context_index = ContextIndex::build(collection, config.count_storage);
         (profile.context_index, _) = PhaseProfile::finish_shards(t);
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let guides = DataGuideSet::build(collection, config.dataguide_threshold)?;
         (profile.guides, _) = PhaseProfile::finish_shards(t);
 
@@ -381,7 +404,7 @@ impl SedaEngine {
     ) -> Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet), SedaError> {
         let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let shards = parallel_map(&docs, threads, |&doc| {
             DataGraph::build_shard(collection, doc, &config.graph)
         })?;
@@ -391,9 +414,13 @@ impl SedaEngine {
         phase.finish_merge(merge_start);
         profile.graph = phase;
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let shards = parallel_map(&docs, threads, |&doc| {
-            NodeIndex::build_shard(collection.document(doc).expect("doc listed by collection"))
+            NodeIndex::build_shard(
+                collection
+                    .document(doc)
+                    .expect("invariant: collection document ids are dense (doc-id-dense)"),
+            )
         })?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
         faults::fire("shard-merge")?;
@@ -401,10 +428,12 @@ impl SedaEngine {
         phase.finish_merge(merge_start);
         profile.node_index = phase;
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let shards = parallel_map(&docs, threads, |&doc| {
             ContextIndex::build_shard(
-                collection.document(doc).expect("doc listed by collection"),
+                collection
+                    .document(doc)
+                    .expect("invariant: collection document ids are dense (doc-id-dense)"),
                 config.count_storage,
             )
         })?;
@@ -413,7 +442,7 @@ impl SedaEngine {
         phase.finish_merge(merge_start);
         profile.context_index = phase;
 
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let shards =
             parallel_map(&docs, threads, |&doc| DataGuideSet::build_shard(collection, [doc]))?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
@@ -428,6 +457,27 @@ impl SedaEngine {
     /// Timings and shape of the build that produced this engine.
     pub fn build_profile(&self) -> &BuildProfile {
         &self.profile
+    }
+
+    /// The shared-scratch mutex, for the engine-level audit
+    /// ([`SedaEngine::verify`]) to include the cached scratch when idle.
+    pub(crate) fn query_scratch_for_audit(&self) -> &Mutex<SearchScratch> {
+        &self.query_scratch
+    }
+
+    /// Mutable references to every frozen substrate — the corruption-test
+    /// access behind the `#[doc(hidden)]` [`SedaEngine::substrates_mut`].
+    pub(crate) fn substrate_fields_mut(
+        &mut self,
+    ) -> (&mut Collection, &mut NodeIndex, &mut ContextIndex, &mut DataGraph, &mut DataGuideSet)
+    {
+        (
+            &mut self.collection,
+            &mut self.node_index,
+            &mut self.context_index,
+            &mut self.graph,
+            &mut self.guides,
+        )
     }
 
     /// The underlying collection.
@@ -611,14 +661,13 @@ impl SedaEngine {
         limits: &SearchLimits,
         scratch: &mut SearchScratch,
     ) -> (TopKResult, QueryProfile, Option<LimitBreach>) {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         faults::fire_unchecked("mid-search");
         let searcher = TopKSearcher::new(&self.collection, &self.node_index, &self.graph);
         let mut config = self.config.topk.clone();
         config.k = k;
         let (result, breach) = searcher.search_governed(terms, &config, limits, scratch);
-        let profile =
-            QueryProfile { stats: result.stats.clone(), wall_secs: start.elapsed().as_secs_f64() };
+        let profile = QueryProfile { stats: result.stats.clone(), wall_secs: start.elapsed_secs() };
         (result, profile, breach)
     }
 

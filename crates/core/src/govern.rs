@@ -101,6 +101,39 @@ impl Budget {
     }
 }
 
+/// A monotonic stopwatch — the sanctioned wall-clock handle for timing code
+/// outside this module.
+///
+/// The repository's custom lint (`cargo xtask lint`) forbids raw
+/// `Instant::now()` calls outside `govern` and bench code so every clock read
+/// is attributable to either request governance or explicit profiling.
+/// Timing-hungry call sites (build phases, plan/exec splits) start a
+/// `Stopwatch` and read elapsed seconds from it.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the current instant.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Seconds elapsed since the stopwatch started.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Reads the clock once, returning the seconds elapsed so far and a new
+    /// stopwatch anchored at that same read — the allocation-free way to time
+    /// consecutive phases without drift between them.
+    pub fn split(&self) -> (f64, Stopwatch) {
+        let now = Instant::now();
+        ((now - self.start).as_secs_f64(), Stopwatch { start: now })
+    }
+}
+
 /// Shared cancellation flag: clone it, hand one clone to the request's
 /// [`RequestContext`], and call [`CancelToken::cancel`] from any thread to
 /// stop the request at its next governance check (surfaced as
@@ -273,6 +306,15 @@ mod tests {
         assert_eq!(b.max_rows, Some(5));
         assert_eq!(b.max_twig_matches, Some(6));
         assert_eq!(b.max_cube_cells, Some(7));
+    }
+
+    #[test]
+    fn stopwatch_split_is_monotone() {
+        let w = Stopwatch::start();
+        let (elapsed, next) = w.split();
+        assert!(elapsed >= 0.0);
+        assert!(next.elapsed_secs() <= w.elapsed_secs());
+        assert!(w.elapsed_secs() >= elapsed);
     }
 
     #[test]

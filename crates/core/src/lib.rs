@@ -58,9 +58,7 @@
 //! assert!(build.schema.fact("import-trade-percentage").is_some());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod audit;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -74,9 +72,10 @@ pub mod response;
 pub mod session;
 pub mod summaries;
 
+pub use audit::verify_exec_profile;
 pub use engine::{BuildProfile, EngineConfig, PhaseProfile, QueryProfile, SedaEngine};
 pub use error::SedaError;
-pub use govern::{Budget, CancelToken, RequestContext};
+pub use govern::{Budget, CancelToken, RequestContext, Stopwatch};
 pub use parallel::WorkerPanic;
 pub use plan::{PlanStep, QueryPlan};
 pub use query::{ContextSpec, QueryError, QueryTerm, SedaQuery};

@@ -114,7 +114,9 @@ where
             // Workers catch panics themselves, so join only fails on a bug in
             // this module; propagating that panic is the right response.
             #[allow(clippy::expect_used)]
-            let (local, failure) = handle.join().expect("worker infrastructure panicked");
+            let (local, failure) = handle
+                .join()
+                .expect("invariant: workers catch panics as values, the thread never unwinds");
             for (index, value) in local {
                 slots[index] = Some(value);
             }
@@ -131,7 +133,7 @@ where
     }
     Ok(slots
         .into_iter()
-        .map(|s| s.expect("no worker panicked, so every slot was produced"))
+        .map(|s| s.expect("invariant: every slot is produced once no worker panicked"))
         .collect())
 }
 
@@ -214,14 +216,17 @@ where
             // Workers catch panics per item, so join only fails on a bug in
             // this module; propagating that panic is the right response.
             #[allow(clippy::expect_used)]
-            for (index, value) in handle.join().expect("worker infrastructure panicked") {
+            for (index, value) in handle
+                .join()
+                .expect("invariant: workers catch panics as values, the thread never unwinds")
+            {
                 slots[index] = Some(value);
             }
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("the atomic counter hands out every index exactly once"))
+        .map(|s| s.expect("invariant: the atomic counter hands out every index exactly once"))
         .collect()
 }
 

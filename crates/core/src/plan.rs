@@ -309,7 +309,9 @@ impl SedaEngine {
                     });
                 }
             }
-            Statement::Twig { .. } => unreachable!("handled above"),
+            Statement::Twig { .. } => {
+                return Err(SedaError::Internal("twig statements are planned above".to_string()))
+            }
         }
 
         Ok(QueryPlan {

@@ -79,7 +79,7 @@ impl ContextSpec {
         }
         match deduped.len() {
             0 => ContextSpec::Any,
-            1 => deduped.pop().expect("len checked"),
+            1 => deduped.pop().expect("invariant: the len == 1 arm holds exactly one element"),
             _ => ContextSpec::Disjunction(deduped),
         }
     }
@@ -98,11 +98,14 @@ impl ContextSpec {
             return pattern == name;
         }
         let pieces: Vec<&str> = pattern.split('*').collect();
-        let (first, tail) = pieces.split_first().expect("split yields at least one piece");
+        let (first, tail) =
+            pieces.split_first().expect("invariant: split always yields at least one piece");
         let Some(mut rest) = name.strip_prefix(first) else {
             return false;
         };
-        let (last, middle) = tail.split_last().expect("pattern contains '*'");
+        let (last, middle) = tail
+            .split_last()
+            .expect("invariant: a pattern with '*' splits into two or more pieces");
         for piece in middle {
             if piece.is_empty() {
                 continue;

@@ -21,14 +21,12 @@
 //! assert_eq!(response.top_k().unwrap().tuples.len(), 1);
 //! ```
 
-use std::time::Instant;
-
 use seda_olap::{aggregate, CubeQuery};
 use seda_topk::{LimitBreach, SearchScratch, TopKResult};
 
 use crate::engine::{catch_internal, SedaEngine};
 use crate::error::SedaError;
-use crate::govern::RequestContext;
+use crate::govern::{RequestContext, Stopwatch};
 use crate::parallel::{effective_parallelism, parallel_map_with};
 use crate::plan::QueryPlan;
 use crate::query::SedaQuery;
@@ -169,9 +167,9 @@ impl<'e> SedaReader<'e> {
         request: &SedaRequest,
         ctx: &RequestContext,
     ) -> Result<SedaResponse, SedaError> {
-        let plan_start = Instant::now();
+        let plan_start = Stopwatch::start();
         let plan = self.engine.plan(request)?;
-        let plan_secs = plan_start.elapsed().as_secs_f64();
+        let plan_secs = plan_start.elapsed_secs();
         if request.explain {
             let mut profile = ExecProfile { plan_secs, ..ExecProfile::default() };
             let payload = ResponsePayload::Explain(plan.explain());
@@ -209,7 +207,7 @@ impl<'e> SedaReader<'e> {
         plan: &QueryPlan,
         ctx: &RequestContext,
     ) -> Result<SedaResponse, SedaError> {
-        let exec_start = Instant::now();
+        let exec_start = Stopwatch::start();
         let mut profile = ExecProfile::default();
         ctx.check_cancelled()?;
         let limits = ctx.search_limits();
@@ -226,7 +224,10 @@ impl<'e> SedaReader<'e> {
                 ResponsePayload::TopK(result)
             }
             Statement::ContextSummary => {
-                let query = plan.query.as_ref().expect("planner requires a query");
+                let query = plan
+                    .query
+                    .as_ref()
+                    .expect("invariant: the planner attaches a query to this statement shape");
                 let contexts = self.engine.context_summary(query);
                 resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
                 ResponsePayload::Contexts(contexts)
@@ -246,7 +247,10 @@ impl<'e> SedaReader<'e> {
                 ResponsePayload::Connections { top_k, summary }
             }
             Statement::CompleteResults => {
-                let query = plan.query.as_ref().expect("planner requires a query");
+                let query = plan
+                    .query
+                    .as_ref()
+                    .expect("invariant: the planner attaches a query to this statement shape");
                 let (table, breach) = self.engine.complete_results_governed(
                     query,
                     &plan.selections,
@@ -258,7 +262,10 @@ impl<'e> SedaReader<'e> {
                 ResponsePayload::Table(table)
             }
             Statement::Twig { .. } => {
-                let pattern = plan.pattern.as_ref().expect("planner compiles twig statements");
+                let pattern = plan
+                    .pattern
+                    .as_ref()
+                    .expect("invariant: the planner compiles twig statements to a pattern");
                 let mut table = self.engine.twig_table(pattern);
                 if let Some(breach) = ctx.twig_breach(table.len()) {
                     let keep = breach.budget as usize;
@@ -269,7 +276,10 @@ impl<'e> SedaReader<'e> {
                 ResponsePayload::Table(table)
             }
             Statement::Cube { fact, group_by, agg, measure } => {
-                let query = plan.query.as_ref().expect("planner requires a query");
+                let query = plan
+                    .query
+                    .as_ref()
+                    .expect("invariant: the planner attaches a query to this statement shape");
                 let (table, breach) = self.engine.complete_results_governed(
                     query,
                     &plan.selections,
@@ -299,7 +309,7 @@ impl<'e> SedaReader<'e> {
             resolve_breach(Some(breach), ctx, &mut profile)?;
             truncate_payload(&mut payload, keep);
         }
-        profile.exec_secs = exec_start.elapsed().as_secs_f64();
+        profile.exec_secs = exec_start.elapsed_secs();
         profile.rows = payload.rows();
         profile.budget_spent = profile.sorted_accesses as u64
             + profile.random_accesses as u64

@@ -148,7 +148,7 @@ impl<'a> SedaSession<'a> {
         self.top_k = Some(top_k);
         self.query = Some(query);
         self.stage = SessionStage::Explored;
-        Ok(self.top_k.as_ref().expect("just set"))
+        Ok(self.top_k.as_ref().expect("invariant: the top-k result was just materialised"))
     }
 
     /// Parses and submits a textual query.
@@ -214,7 +214,7 @@ impl<'a> SedaSession<'a> {
         self.complete = None;
         self.star_schema = None;
         self.stage = SessionStage::Explored;
-        Ok(self.top_k.as_ref().expect("just set"))
+        Ok(self.top_k.as_ref().expect("invariant: the top-k result was just materialised"))
     }
 
     /// Selects the connections that are relevant for the query.
@@ -244,7 +244,7 @@ impl<'a> SedaSession<'a> {
             self.reader.complete_results(&query, &self.selections, &self.chosen_connections)?;
         self.complete = Some(result);
         self.stage = SessionStage::Materialized;
-        Ok(self.complete.as_ref().expect("just set"))
+        Ok(self.complete.as_ref().expect("invariant: the complete result was just materialised"))
     }
 
     /// The materialised complete result.
@@ -260,11 +260,12 @@ impl<'a> SedaSession<'a> {
         if self.complete.is_none() {
             self.complete_results()?;
         }
-        let result = self.complete.as_ref().expect("materialised above");
+        let result =
+            self.complete.as_ref().expect("invariant: the complete result was materialised above");
         let build = self.engine().build_star_schema(result, options);
         self.star_schema = Some(build);
         self.stage = SessionStage::Analyzed;
-        Ok(self.star_schema.as_ref().expect("just set"))
+        Ok(self.star_schema.as_ref().expect("invariant: the star schema was just materialised"))
     }
 
     /// The derived star schema.

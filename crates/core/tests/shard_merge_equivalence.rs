@@ -151,6 +151,11 @@ proptest! {
         )
         .unwrap();
 
+        // Equivalence alone could hold for two equally-corrupt engines: both
+        // variants must also pass the full structural audit.
+        prop_assert!(sequential.verify().is_ok(), "sequential engine fails audit");
+        prop_assert!(parallel.verify().is_ok(), "parallel engine fails audit");
+
         prop_assert_eq!(parallel.node_index(), sequential.node_index());
         prop_assert_eq!(parallel.context_index(), sequential.context_index());
         prop_assert_eq!(parallel.graph(), sequential.graph());

@@ -22,9 +22,6 @@
 //! assert_eq!(collection.len(), FactbookConfig::tiny().document_count());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod factbook;
 pub mod googlebase;
 pub mod mondial;

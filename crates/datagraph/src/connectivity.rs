@@ -72,18 +72,18 @@ pub enum LabelScheme {
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConnectivityIndex {
     /// Exactness radius of the hub labels ([`LABEL_RADIUS`] at build time).
-    radius: u16,
+    pub(crate) radius: u16,
     /// Labeling scheme per document.
-    schemes: Vec<LabelScheme>,
+    pub(crate) schemes: Vec<LabelScheme>,
     /// Per-node label offsets, length `node_count + 1`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Label keys, sorted ascending per node: centroid dense indices for
     /// tree-labeled nodes, hub ranks for hub-labeled nodes.  The two key
     /// spaces never meet — nodes of different schemes are always in
     /// different components, which the query rejects before intersecting.
-    hubs: Vec<u32>,
+    pub(crate) hubs: Vec<u32>,
     /// Distance to each label key (parallel to `hubs`).
-    dists: Vec<u16>,
+    pub(crate) dists: Vec<u16>,
 }
 
 impl ConnectivityIndex {

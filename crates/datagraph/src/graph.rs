@@ -69,24 +69,24 @@ pub fn doc_component_builds_on_this_thread() -> usize {
 pub struct DataGraph {
     /// Prefix sums of document node counts: dense index of `(doc, ord)` is
     /// `doc_offsets[doc.index()] + ord`; length is `#docs + 1`.
-    doc_offsets: Vec<u32>,
+    pub(crate) doc_offsets: Vec<u32>,
     /// Full adjacency offsets, length `node_count + 1`.
-    adj_offsets: Vec<u32>,
+    pub(crate) adj_offsets: Vec<u32>,
     /// Full adjacency targets as dense indices (parent first, then children
     /// in document order, then cross edges in insertion order).
-    adj_targets: Vec<(u32, EdgeKind)>,
+    pub(crate) adj_targets: Vec<(u32, EdgeKind)>,
     /// Cross-edge adjacency offsets, length `node_count + 1`.
-    cross_offsets: Vec<u32>,
+    pub(crate) cross_offsets: Vec<u32>,
     /// Cross-edge targets (symmetric), in edge insertion order.
-    cross_targets: Vec<(NodeId, EdgeKind)>,
+    pub(crate) cross_targets: Vec<(NodeId, EdgeKind)>,
     /// Connected-component id of every document (components over cross
     /// edges), indexed by document.
-    doc_component: Vec<u32>,
+    pub(crate) doc_component: Vec<u32>,
     /// Precomputed distance labels (the connectivity oracle), built at merge
     /// time from the shard tree labels plus a landmark pass over cross-linked
     /// components.
-    connectivity: ConnectivityIndex,
-    edge_count: usize,
+    pub(crate) connectivity: ConnectivityIndex,
+    pub(crate) edge_count: usize,
     id_nodes: usize,
     idref_nodes: usize,
     value_pairs: usize,

@@ -19,9 +19,7 @@
 //! assert_eq!(graph.cross_edge_count(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod audit;
 pub mod config;
 pub mod connectivity;
 pub mod graph;

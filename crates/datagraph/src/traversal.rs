@@ -52,10 +52,10 @@ const UNSET: u32 = u32::MAX;
 #[derive(Debug, Default)]
 pub struct TraversalScratch {
     /// Current epoch; a slot is visited iff `stamp[i] == epoch`.
-    epoch: u32,
-    stamp: Vec<u32>,
-    dist: Vec<u32>,
-    pred: Vec<(u32, EdgeKind)>,
+    pub(crate) epoch: u32,
+    pub(crate) stamp: Vec<u32>,
+    pub(crate) dist: Vec<u32>,
+    pub(crate) pred: Vec<(u32, EdgeKind)>,
     queue: Vec<u32>,
     /// Pairwise-distance matrix of the compactness computation (row-major,
     /// `UNSET` for unreachable), reused across tuples.
@@ -525,7 +525,7 @@ pub fn connecting_tree_size_with(
         let next = (0..n)
             .filter(|&i| !scratch.in_tree[i])
             .min_by_key(|&i| scratch.best[i])
-            .expect("at least one node outside the tree");
+            .expect("invariant: the non-tree branch holds at least one node outside the tree");
         if scratch.best[next] == UNSET {
             return None; // disconnected
         }

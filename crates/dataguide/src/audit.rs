@@ -1,0 +1,187 @@
+//! Structural invariant checks for the dataguide substrate.
+//!
+//! Invariant catalog (class ids in brackets):
+//!
+//! * `path-index` — the inverted `path → guides` index agrees exactly with
+//!   the guides: every `(path, guide)` membership appears once in the index
+//!   and nothing else does.  The connection-summary path relies on this index
+//!   being a faithful view of the guides.
+//! * `assignment` — the document → guide assignment is consistent: every
+//!   assigned guide id is in bounds, the guide's coverage list contains the
+//!   document, and conversely every covered document is assigned back to that
+//!   guide (so no document is claimed by two guides).
+//!
+//! A default-constructed (never built) [`DataGuideSet`] passes vacuously.
+
+use std::collections::HashMap;
+
+use seda_xmlstore::audit::{finish, AuditResult, InvariantViolation};
+use seda_xmlstore::{DocId, PathId};
+
+use crate::guide::{DataGuideSet, GuideId};
+
+const SUBSTRATE: &str = "dataguide";
+
+impl DataGuideSet {
+    /// Verifies the structural invariants of the built guide set.
+    ///
+    /// Returns `Ok(())` when every invariant holds, or the full list of
+    /// violations otherwise.  Runs in time linear in the total number of
+    /// guide paths and covered documents.
+    pub fn verify(&self) -> AuditResult {
+        let mut violations = Vec::new();
+        self.verify_path_index(&mut violations);
+        self.verify_assignment(&mut violations);
+        finish(violations)
+    }
+
+    /// The `path-index` class: recompute the inverted index from the guides
+    /// and compare it entry-by-entry (order-insensitively — insertion order
+    /// in the live index follows merge history, not guide id).
+    fn verify_path_index(&self, violations: &mut Vec<InvariantViolation>) {
+        let mut expected: HashMap<PathId, Vec<u32>> = HashMap::new();
+        for (i, guide) in self.guides.iter().enumerate() {
+            for &path in &guide.paths {
+                expected.entry(path).or_default().push(i as u32);
+            }
+        }
+        for (path, want) in &expected {
+            let mut got = self.path_index.get(path).cloned().unwrap_or_default();
+            got.sort_unstable();
+            if got != *want {
+                violations.push(InvariantViolation::new(
+                    SUBSTRATE,
+                    "path-index",
+                    format!(
+                        "path {} maps to guides {:?} in the index but {:?} per the guides",
+                        path.0, got, want
+                    ),
+                ));
+            }
+        }
+        for path in self.path_index.keys() {
+            if !expected.contains_key(path) {
+                violations.push(InvariantViolation::new(
+                    SUBSTRATE,
+                    "path-index",
+                    format!("path {} is indexed but occurs in no guide", path.0),
+                ));
+            }
+        }
+    }
+
+    /// The `assignment` class: document ↔ guide coverage is a bijection
+    /// between `assignment` entries and guide coverage slots.
+    fn verify_assignment(&self, violations: &mut Vec<InvariantViolation>) {
+        for (&doc, &gid) in &self.assignment {
+            match self.guides.get(gid.index()) {
+                None => violations.push(InvariantViolation::new(
+                    SUBSTRATE,
+                    "assignment",
+                    format!(
+                        "document {} is assigned to guide {} but only {} guides exist",
+                        doc.0,
+                        gid.0,
+                        self.guides.len()
+                    ),
+                )),
+                Some(guide) if !guide.documents.contains(&doc) => {
+                    violations.push(InvariantViolation::new(
+                        SUBSTRATE,
+                        "assignment",
+                        format!(
+                            "document {} is assigned to guide {} which does not cover it",
+                            doc.0, gid.0
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        for (i, guide) in self.guides.iter().enumerate() {
+            for &doc in &guide.documents {
+                if self.assignment.get(&doc) != Some(&GuideId(i as u32)) {
+                    violations.push(InvariantViolation::new(
+                        SUBSTRATE,
+                        "assignment",
+                        format!(
+                            "guide {} covers document {} but the document is assigned to {:?}",
+                            i,
+                            doc.0,
+                            self.assignment.get(&doc)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Test-only corruption hook: desyncs the path → guide index by dropping
+    /// the entry for `path`, leaving the guides themselves untouched.
+    #[doc(hidden)]
+    pub fn corrupt_drop_path_index(&mut self, path: PathId) -> bool {
+        self.path_index.remove(&path).is_some()
+    }
+
+    /// Test-only corruption hook: rewrites a document's assignment without
+    /// updating guide coverage.
+    #[doc(hidden)]
+    pub fn corrupt_reassign_document(&mut self, doc: DocId, guide: GuideId) {
+        self.assignment.insert(doc, guide);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seda_xmlstore::parse_collection;
+
+    fn built_set() -> (seda_xmlstore::Collection, DataGuideSet) {
+        let c = parse_collection(vec![
+            ("a1.xml", "<a><x>1</x><y>2</y></a>"),
+            ("a2.xml", "<a><x>3</x><y>4</y><z>5</z></a>"),
+            ("b1.xml", "<b><p>1</p><q>2</q></b>"),
+        ])
+        .unwrap();
+        let set = DataGuideSet::build(&c, 0.4).unwrap();
+        (c, set)
+    }
+
+    #[test]
+    fn fresh_set_passes() {
+        let (_, set) = built_set();
+        set.verify().unwrap();
+        DataGuideSet::default().verify().unwrap();
+    }
+
+    #[test]
+    fn dropped_path_index_entry_fails_path_index() {
+        let (c, mut set) = built_set();
+        let x = c.paths().get_str(c.symbols(), "/a/x").unwrap();
+        assert!(set.corrupt_drop_path_index(x));
+        let violations = set.verify().unwrap_err();
+        assert!(violations.iter().any(|v| v.invariant == "path-index"));
+        assert!(violations.iter().all(|v| v.invariant != "assignment"));
+    }
+
+    #[test]
+    fn reassigned_document_fails_assignment() {
+        let (_, mut set) = built_set();
+        let bogus = GuideId(set.len() as u32);
+        set.corrupt_reassign_document(DocId(0), bogus);
+        let violations = set.verify().unwrap_err();
+        assert!(violations.iter().any(|v| v.invariant == "assignment"));
+    }
+
+    #[test]
+    fn cross_guide_reassignment_is_detected_from_both_sides() {
+        let (_, mut set) = built_set();
+        // Move document 0 to the other (valid) guide: the guide still claims
+        // it while the assignment now points elsewhere.
+        let current = set.guide_of_document(DocId(0)).unwrap();
+        let other = GuideId(if current.0 == 0 { 1 } else { 0 });
+        set.corrupt_reassign_document(DocId(0), other);
+        let violations = set.verify().unwrap_err();
+        assert!(violations.iter().filter(|v| v.invariant == "assignment").count() >= 2);
+    }
+}

@@ -120,7 +120,9 @@ pub fn discover_connections(
                             key,
                             Connection {
                                 from_path: signature[0],
-                                to_path: *signature.last().expect("non-empty"),
+                                to_path: *signature
+                                    .last()
+                                    .expect("invariant: a connection signature has both endpoints"),
                                 signature,
                                 edge_kinds,
                                 support: 1,

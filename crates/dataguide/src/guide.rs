@@ -33,8 +33,8 @@ impl GuideId {
 /// One dataguide: a set of root-to-leaf paths plus the documents it covers.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DataGuide {
-    paths: BTreeSet<PathId>,
-    documents: Vec<DocId>,
+    pub(crate) paths: BTreeSet<PathId>,
+    pub(crate) documents: Vec<DocId>,
 }
 
 impl DataGuide {
@@ -150,13 +150,13 @@ impl DataGuideShard {
 /// A collection of merged dataguides plus the document → guide assignment.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DataGuideSet {
-    guides: Vec<DataGuide>,
-    assignment: HashMap<DocId, GuideId>,
+    pub(crate) guides: Vec<DataGuide>,
+    pub(crate) assignment: HashMap<DocId, GuideId>,
     threshold: f64,
     /// Inverted index path → guides containing it, so one pass over an
     /// incoming guide's paths yields its common-path count with *every*
     /// existing guide (instead of intersecting with each guide separately).
-    path_index: HashMap<PathId, Vec<u32>>,
+    pub(crate) path_index: HashMap<PathId, Vec<u32>>,
 }
 
 impl DataGuideSet {

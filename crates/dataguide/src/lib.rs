@@ -18,9 +18,7 @@
 //! assert_eq!(guides.len(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod audit;
 pub mod connection;
 pub mod guide;
 

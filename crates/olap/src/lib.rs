@@ -20,9 +20,6 @@
 //! assert_eq!(cube.cell(&["China"]).unwrap().value, 15.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod builder;
 pub mod cube;
 pub mod key;

@@ -51,20 +51,20 @@ pub struct PathEntry {
 /// The Fig. 8 keyword → paths index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ContextIndex {
-    storage: CountStorage,
+    pub(crate) storage: CountStorage,
     /// keyword → set of paths whose virtual document contains the keyword.
-    keyword_paths: HashMap<String, BTreeSet<PathId>>,
+    pub(crate) keyword_paths: HashMap<String, BTreeSet<PathId>>,
     /// Per-(keyword, path) counts; only populated for `PostingLists` storage.
-    posting_counts: HashMap<(String, PathId), usize>,
+    pub(crate) posting_counts: HashMap<(String, PathId), usize>,
     /// Path → total occurrence count (the "document store").
-    path_occurrences: HashMap<PathId, usize>,
+    pub(crate) path_occurrences: HashMap<PathId, usize>,
     /// Path → number of documents containing the path.
-    path_document_frequency: HashMap<PathId, usize>,
+    pub(crate) path_document_frequency: HashMap<PathId, usize>,
     /// All paths in the collection (needed for match-all and NOT queries).
-    all_paths: BTreeSet<PathId>,
+    pub(crate) all_paths: BTreeSet<PathId>,
     /// Paths whose nodes carry text content (match-all context buckets are
     /// restricted to these, since a `*` search query requires content).
-    text_paths: BTreeSet<PathId>,
+    pub(crate) text_paths: BTreeSet<PathId>,
 }
 
 /// Partial context index over a single document, produced by
@@ -265,7 +265,9 @@ impl ContextIndex {
                     return self.text_paths.clone();
                 }
                 let mut iter = ts.iter();
-                let first = iter.next().expect("non-empty");
+                let first = iter
+                    .next()
+                    .expect("invariant: the merge branch requires a non-empty shard list");
                 let mut acc = self.paths_for_term(first);
                 for t in iter {
                     let next = self.paths_for_term(t);

@@ -24,8 +24,8 @@ impl TermId {
 /// Bidirectional term ↔ id intern table.
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TermDict {
-    ids: HashMap<String, TermId>,
-    terms: Vec<String>,
+    pub(crate) ids: HashMap<String, TermId>,
+    pub(crate) terms: Vec<String>,
 }
 
 impl TermDict {

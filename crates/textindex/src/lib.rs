@@ -22,9 +22,7 @@
 //! assert_eq!(hits.len(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod audit;
 pub mod context_index;
 pub mod dict;
 pub mod node_index;

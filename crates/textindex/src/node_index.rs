@@ -59,31 +59,31 @@ pub struct ScoredNode {
 /// Inverted full-text index over the direct text content of nodes.
 #[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    pub(crate) postings: HashMap<String, Vec<Posting>>,
     /// Tokenised direct text of every indexed node (random access / phrase
     /// verification).
-    node_tokens: HashMap<NodeId, Vec<String>>,
+    pub(crate) node_tokens: HashMap<NodeId, Vec<String>>,
     /// Context path of every indexed node (context filtering).
-    node_paths: HashMap<NodeId, PathId>,
-    indexed_nodes: usize,
+    pub(crate) node_paths: HashMap<NodeId, PathId>,
+    pub(crate) indexed_nodes: usize,
 
     // ---- interned read model, frozen by `rebuild_read_model` ----
     /// Term intern table; ids are lexicographic ranks, so deterministic.
-    dict: TermDict,
+    pub(crate) dict: TermDict,
     /// Smoothed idf per term id.
-    idf_by_term: Vec<f64>,
+    pub(crate) idf_by_term: Vec<f64>,
     /// CSR offsets into `sorted_postings`, length `dict.len() + 1`.
-    posting_offsets: Vec<u32>,
+    pub(crate) posting_offsets: Vec<u32>,
     /// Per-term postings pre-sorted by (score desc, node asc), idf folded in.
-    sorted_postings: Vec<ScoredNode>,
+    pub(crate) sorted_postings: Vec<ScoredNode>,
     /// Dense slot of every indexed node (slots in ascending `NodeId` order).
-    node_slots: HashMap<NodeId, u32>,
+    pub(crate) node_slots: HashMap<NodeId, u32>,
     /// Slot → node id.
-    slot_nodes: Vec<NodeId>,
+    pub(crate) slot_nodes: Vec<NodeId>,
     /// Slot → context path (side table for path filtering).
-    slot_paths: Vec<PathId>,
+    pub(crate) slot_paths: Vec<PathId>,
     /// Slot → token count (side table for length normalisation).
-    slot_token_counts: Vec<u32>,
+    pub(crate) slot_token_counts: Vec<u32>,
 }
 
 /// Partial node index over a single document, produced by

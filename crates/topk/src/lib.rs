@@ -25,9 +25,7 @@
 //! assert_eq!(result.tuples.len(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod audit;
 pub mod searcher;
 pub mod types;
 

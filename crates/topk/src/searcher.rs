@@ -51,7 +51,7 @@ use crate::types::{
 /// to their working size.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
-    traversal: TraversalScratch,
+    pub(crate) traversal: TraversalScratch,
     /// Per-term sorted-access lists (reused; only the first `m` are live).
     lists: Vec<Vec<ScoredNode>>,
     /// Candidate buffer handed to [`NodeIndex::evaluate_into`].
@@ -66,7 +66,7 @@ pub struct SearchScratch {
     /// The `k` best scores buffered so far, kept sorted descending so the
     /// threshold test reads the k-th best in O(1) instead of re-sorting the
     /// whole candidate buffer per sorted access.
-    kth_scores: Vec<f64>,
+    pub(crate) kth_scores: Vec<f64>,
     positions: Vec<usize>,
     best_scores: Vec<f64>,
 }
@@ -365,7 +365,11 @@ impl<'a> TopKSearcher<'a> {
                             // top-k (ties at the k-th score included): a tuple
                             // strictly below k better ones can never re-enter,
                             // and the small buffer keeps the final sort cheap.
-                            if score >= *kth_scores.last().expect("note_score keeps >= 1 entry") {
+                            if score
+                                >= *kth_scores.last().expect(
+                                    "invariant: note_score keeps at least one entry (kth-order)",
+                                )
+                            {
                                 buffer.push(HeapTuple(ResultTuple {
                                     nodes: nodes.to_vec(),
                                     content_score: content,

@@ -162,7 +162,8 @@ fn expand_solutions(
     solutions: &mut Vec<Vec<u32>>,
 ) {
     let n = chain.len();
-    let leaf_entry = stacks[n - 1].last().expect("leaf entry just pushed");
+    let leaf_entry =
+        stacks[n - 1].last().expect("invariant: the leaf entry was just pushed onto its stack");
     // Partial solutions built bottom-up: (current level, ordinals leaf..level).
     let mut partials: Vec<(isize, Vec<u32>, DeweyId)> =
         vec![(leaf_entry.parent_top, vec![leaf_entry.ordinal], leaf_entry.dewey.clone())];

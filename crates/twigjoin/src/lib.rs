@@ -18,9 +18,6 @@
 //! assert_eq!(matches.len(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod eval;
 pub mod join;
 pub mod pattern;

@@ -102,7 +102,9 @@ impl TwigPattern {
                 rest = stripped;
                 Axis::Child
             } else {
-                unreachable!("label scan consumes up to the next '/'")
+                return Err(TwigParseError::new(format!(
+                    "expected '/' before the next step in twig path {trimmed:?}"
+                )));
             };
             let end = rest.find('/').unwrap_or(rest.len());
             let label = &rest[..end];
@@ -113,7 +115,7 @@ impl TwigPattern {
             rest = &rest[end..];
         }
         let mut iter = steps.into_iter();
-        let (_, root) = iter.next().expect("at least one step");
+        let (_, root) = iter.next().expect("invariant: a parsed twig path has at least one step");
         let mut pattern = TwigPattern::with_root(root);
         let mut current = 0usize;
         for (axis, label) in iter {

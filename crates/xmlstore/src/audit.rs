@@ -1,0 +1,281 @@
+//! Structural invariant auditing — the `seda-audit` layer for the store.
+//!
+//! Every substrate crate exposes a `verify()` entry point returning
+//! `Result<(), Vec<InvariantViolation>>`; this module defines the shared
+//! [`InvariantViolation`] type plus the checks for the store itself.
+//!
+//! # Invariant catalog (substrate `xmlstore`)
+//!
+//! | class | invariant |
+//! |---|---|
+//! | `dewey-order` | Dewey ids are strictly increasing in document order |
+//! | `dewey-parent-prefix` | a node's Dewey id extends its parent's by exactly one component; the root is `1` |
+//! | `tree-linkage` | parent/child ordinals are in-bounds, parents precede children, and back-pointers agree |
+//! | `doc-id-dense` | document ids equal their slot in the collection |
+//! | `path-in-bounds` | every node's interned path and name resolve in the shared tables |
+
+use std::fmt;
+
+use crate::collection::Collection;
+use crate::dewey::DeweyId;
+use crate::document::Document;
+
+/// One detected violation of a structural invariant.
+///
+/// Violations are diagnostic values, not errors to be matched on in query
+/// paths: a frozen read model that fails `verify()` is corrupt and must not
+/// serve answers.  The `(substrate, invariant)` pair is a stable,
+/// machine-matchable class id (kebab-case) used by the seeded-corruption
+/// suite to assert that each injected fault is detected as exactly the class
+/// that was perturbed; `detail` is human-oriented context naming the
+/// offending document/node/term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The substrate reporting the violation (`"xmlstore"`, `"textindex"`,
+    /// `"datagraph"`, `"dataguide"`, `"topk"`, `"core"`).
+    pub substrate: &'static str,
+    /// Stable kebab-case class id of the violated invariant (e.g.
+    /// `"dewey-order"`, `"postings-sorted"`, `"csr-offsets"`).
+    pub invariant: &'static str,
+    /// Human-oriented description of the specific violation site.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    /// Builds a violation record.
+    pub fn new(
+        substrate: &'static str,
+        invariant: &'static str,
+        detail: impl Into<String>,
+    ) -> Self {
+        InvariantViolation { substrate, invariant, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}/{}] {}", self.substrate, self.invariant, self.detail)
+    }
+}
+
+/// Shorthand for the result every `verify()` returns.
+pub type AuditResult = Result<(), Vec<InvariantViolation>>;
+
+/// Folds an accumulated violation list into an [`AuditResult`].
+pub fn finish(violations: Vec<InvariantViolation>) -> AuditResult {
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+const SUBSTRATE: &str = "xmlstore";
+
+impl Document {
+    /// Verifies the per-document structural invariants: Dewey order, the
+    /// parent-prefix property, and parent/child linkage consistency.
+    pub fn verify(&self) -> AuditResult {
+        let mut violations = Vec::new();
+        let mut previous: Option<&DeweyId> = None;
+        for (ordinal, node) in self.iter() {
+            if let Some(prev) = previous {
+                if node.dewey <= *prev {
+                    violations.push(InvariantViolation::new(
+                        SUBSTRATE,
+                        "dewey-order",
+                        format!(
+                            "doc {} node {ordinal}: dewey {} not after predecessor {prev}",
+                            self.id.0, node.dewey
+                        ),
+                    ));
+                }
+            }
+            previous = Some(&node.dewey);
+            match node.parent {
+                None => {
+                    if ordinal != 0 || node.dewey != DeweyId::root() {
+                        violations.push(InvariantViolation::new(
+                            SUBSTRATE,
+                            "dewey-parent-prefix",
+                            format!(
+                                "doc {} node {ordinal}: parentless node with dewey {}",
+                                self.id.0, node.dewey
+                            ),
+                        ));
+                    }
+                }
+                Some(parent) => {
+                    if parent >= ordinal {
+                        violations.push(InvariantViolation::new(
+                            SUBSTRATE,
+                            "tree-linkage",
+                            format!(
+                                "doc {} node {ordinal}: parent {parent} does not precede it",
+                                self.id.0
+                            ),
+                        ));
+                    } else {
+                        let parent_node = self.node_unchecked(parent);
+                        if !parent_node.dewey.is_parent_of(&node.dewey) {
+                            violations.push(InvariantViolation::new(
+                                SUBSTRATE,
+                                "dewey-parent-prefix",
+                                format!(
+                                    "doc {} node {ordinal}: dewey {} does not extend parent's {}",
+                                    self.id.0, node.dewey, parent_node.dewey
+                                ),
+                            ));
+                        }
+                        if !parent_node.children.contains(&ordinal) {
+                            violations.push(InvariantViolation::new(
+                                SUBSTRATE,
+                                "tree-linkage",
+                                format!(
+                                    "doc {} node {ordinal}: missing from parent {parent}'s children",
+                                    self.id.0
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            for &child in &node.children {
+                if child as usize >= self.len() {
+                    violations.push(InvariantViolation::new(
+                        SUBSTRATE,
+                        "tree-linkage",
+                        format!(
+                            "doc {} node {ordinal}: child ordinal {child} out of bounds",
+                            self.id.0
+                        ),
+                    ));
+                } else if self.node_unchecked(child).parent != Some(ordinal) {
+                    violations.push(InvariantViolation::new(
+                        SUBSTRATE,
+                        "tree-linkage",
+                        format!(
+                            "doc {} node {ordinal}: child {child} does not point back to it",
+                            self.id.0
+                        ),
+                    ));
+                }
+            }
+        }
+        finish(violations)
+    }
+
+    /// Test-only corruption hook: overwrites one node's Dewey id so the
+    /// seeded-corruption suite can break `dewey-order` / `dewey-parent-prefix`
+    /// in isolation.  Hidden from docs; never called by library code.
+    #[doc(hidden)]
+    pub fn corrupt_node_dewey(&mut self, ordinal: u32, dewey: DeweyId) {
+        self.corrupt_node_dewey_impl(ordinal, dewey);
+    }
+}
+
+impl Collection {
+    /// Verifies every document plus the collection-level invariants
+    /// (dense document ids, interned paths and names in-bounds).
+    pub fn verify(&self) -> AuditResult {
+        let mut violations = Vec::new();
+        for (slot, doc) in self.documents().enumerate() {
+            if doc.id.index() != slot {
+                violations.push(InvariantViolation::new(
+                    SUBSTRATE,
+                    "doc-id-dense",
+                    format!("document in slot {slot} carries id {}", doc.id.0),
+                ));
+            }
+            if let Err(mut doc_violations) = doc.verify() {
+                violations.append(&mut doc_violations);
+            }
+            for (ordinal, node) in doc.iter() {
+                if node.path.index() >= self.paths().len() {
+                    violations.push(InvariantViolation::new(
+                        SUBSTRATE,
+                        "path-in-bounds",
+                        format!(
+                            "doc {} node {ordinal}: path id {} beyond table of {}",
+                            doc.id.0,
+                            node.path.0,
+                            self.paths().len()
+                        ),
+                    ));
+                }
+                if node.name.index() >= self.symbols().len() {
+                    violations.push(InvariantViolation::new(
+                        SUBSTRATE,
+                        "path-in-bounds",
+                        format!(
+                            "doc {} node {ordinal}: name symbol {} beyond table of {}",
+                            doc.id.0,
+                            node.name.index(),
+                            self.symbols().len()
+                        ),
+                    ));
+                }
+            }
+        }
+        finish(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Collection {
+        let mut c = Collection::new();
+        c.add_document("sample.xml", |b| {
+            b.start_element("country")?;
+            b.leaf("name", "United States")?;
+            b.leaf("year", "2006")?;
+            b.start_element("economy")?;
+            b.leaf("GDP", "12310")?;
+            b.end_element()?;
+            b.end_element()?;
+            Ok(())
+        })
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn fresh_collection_passes() {
+        assert_eq!(sample().verify(), Ok(()));
+        assert_eq!(Collection::new().verify(), Ok(()));
+    }
+
+    #[test]
+    fn swapped_sibling_deweys_fail_dewey_order() {
+        let mut c = sample();
+        // Nodes 1 and 2 are the `name`/`year` sibling leaves: swapping their
+        // Dewey ids keeps the parent-prefix property but breaks order.
+        let d1 = c.document(crate::DocId(0)).unwrap().node(1).unwrap().dewey.clone();
+        let d2 = c.document(crate::DocId(0)).unwrap().node(2).unwrap().dewey.clone();
+        c.corrupt_document(crate::DocId(0), |doc| {
+            doc.corrupt_node_dewey(1, d2);
+            doc.corrupt_node_dewey(2, d1);
+        });
+        let violations = c.verify().unwrap_err();
+        assert!(violations.iter().all(|v| v.invariant == "dewey-order"), "{violations:?}");
+    }
+
+    #[test]
+    fn deepened_leaf_dewey_fails_parent_prefix() {
+        let mut c = sample();
+        // Replacing a leaf's Dewey id with a descendant of itself keeps
+        // document order intact but the parent is no longer one level up.
+        let deeper = c.document(crate::DocId(0)).unwrap().node(1).unwrap().dewey.child(1);
+        c.corrupt_document(crate::DocId(0), |doc| doc.corrupt_node_dewey(1, deeper));
+        let violations = c.verify().unwrap_err();
+        assert!(violations.iter().all(|v| v.invariant == "dewey-parent-prefix"), "{violations:?}");
+    }
+
+    #[test]
+    fn violation_display_names_the_class() {
+        let v = InvariantViolation::new("xmlstore", "dewey-order", "doc 0 node 3");
+        assert_eq!(v.to_string(), "[xmlstore/dewey-order] doc 0 node 3");
+    }
+}

@@ -139,6 +139,14 @@ impl Collection {
         self.insert(doc)
     }
 
+    /// Test-only corruption hook: hands out mutable access to one document so
+    /// the seeded-corruption suite can perturb frozen state that library code
+    /// never mutates.  Hidden from docs; never called by library code.
+    #[doc(hidden)]
+    pub fn corrupt_document(&mut self, id: DocId, f: impl FnOnce(&mut Document)) {
+        f(&mut self.documents[id.index()]);
+    }
+
     /// All nodes in the collection whose context equals `path`.
     pub fn nodes_with_path(&self, path: PathId) -> Vec<NodeId> {
         let mut out = Vec::new();

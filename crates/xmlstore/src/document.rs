@@ -119,6 +119,12 @@ impl Document {
         paths
     }
 
+    /// Backing store for the test-only corruption hook in [`crate::audit`];
+    /// kept here because the node arena is private to this module.
+    pub(crate) fn corrupt_node_dewey_impl(&mut self, ordinal: u32, dewey: DeweyId) {
+        self.nodes[ordinal as usize].dewey = dewey;
+    }
+
     /// Evaluates a relative step expression from `ordinal`.
     ///
     /// Relative XML keys (Sec. 7 of the paper) use steps such as

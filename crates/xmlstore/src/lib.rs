@@ -21,9 +21,7 @@
 //! assert_eq!(collection.content(nodes[0]).unwrap(), "2006");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
+pub mod audit;
 pub mod collection;
 pub mod dewey;
 pub mod document;
@@ -33,6 +31,7 @@ pub mod parse;
 pub mod path;
 pub mod symbol;
 
+pub use audit::{AuditResult, InvariantViolation};
 pub use collection::Collection;
 pub use dewey::DeweyId;
 pub use document::{Document, DocumentBuilder, RelativeStep};

@@ -7,9 +7,6 @@
 //! See the workspace `README.md` for the crate dependency DAG and the
 //! shard → merge build lifecycle.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use seda_core::{
     seda_datagraph as datagraph, seda_dataguide as dataguide, seda_olap as olap,
     seda_textindex as textindex, seda_topk as topk, seda_twigjoin as twigjoin,

@@ -11,7 +11,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
-use seda_core::faults::{arm, disarm_all, FaultAction};
+use seda_core::faults::{arm, disarm_all, FaultAction, FAULT_SITES};
 use seda_core::{
     Budget, ContextSelections, EngineConfig, RequestContext, SedaEngine, SedaError, SedaQuery,
     SedaRequest,
@@ -154,6 +154,58 @@ fn mid_search_delay_trips_the_request_deadline() {
         .expect_err("delayed search must breach the deadline");
     assert!(matches!(err, SedaError::Limit { resource: "deadline", .. }), "{err:?}");
     disarm_all();
+}
+
+#[test]
+fn armed_faults_never_yield_a_verified_engine_that_answers_wrong() {
+    let _guard = serialise();
+    // Unarmed baseline: the reference engine and its answer to the workload.
+    let baseline_engine = engine_with_parallelism(2).expect("baseline engine build");
+    assert!(baseline_engine.verify().is_ok(), "baseline engine must pass its audit");
+    let query = SedaQuery::parse(r#"(*, "United States") AND (trade_country, *)"#).unwrap();
+    let baseline = baseline_engine.top_k(&query, &ContextSelections::none(), 5);
+
+    // For every catalogued site and every failure mode: either the build
+    // surfaces a typed error, or — if the armed site was never reached — the
+    // resulting engine passes the full structural audit AND answers exactly
+    // like the baseline.  A fault must never produce an engine that verifies
+    // clean yet answers wrong.
+    for &site in FAULT_SITES {
+        for action in [FaultAction::Error, FaultAction::Panic] {
+            arm(site, action);
+            match engine_with_parallelism(2) {
+                Err(SedaError::Internal(_)) => {}
+                Err(other) => panic!("site {site} ({action:?}) must fail typed, got {other:?}"),
+                Ok(engine) => {
+                    // Query-time sites are still armed here; disarm so the
+                    // answer check below measures the engine, not the fault.
+                    disarm_all();
+                    assert!(
+                        engine.verify().is_ok(),
+                        "site {site} ({action:?}) yielded an engine that fails verify()"
+                    );
+                    let answer = engine.top_k(&query, &ContextSelections::none(), 5);
+                    assert_eq!(
+                        answer.tuples, baseline.tuples,
+                        "site {site} ({action:?}) passed verify() but answers differ"
+                    );
+                }
+            }
+            disarm_all();
+        }
+    }
+
+    // Query-time faults: after a contained mid-search panic, the engine must
+    // still pass the full audit and keep answering exactly like before — a
+    // fault that silently corrupted scratch state would either fail verify()
+    // or change the answer, and both are caught here.
+    let mut reader = baseline_engine.reader();
+    arm("mid-search", FaultAction::Panic);
+    assert!(reader.execute(&topk_request()).is_err(), "armed mid-search must fail the request");
+    disarm_all();
+    assert!(baseline_engine.verify().is_ok(), "engine must pass its audit after a contained fault");
+    let recovered = baseline_engine.top_k(&query, &ContextSelections::none(), 5);
+    assert_eq!(recovered.tuples, baseline.tuples, "post-fault answers must match the baseline");
 }
 
 #[test]
