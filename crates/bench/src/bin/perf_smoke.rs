@@ -9,6 +9,12 @@
 //! silently falling back to per-query BFS (a ~50× regression on this
 //! workload).
 //!
+//! Two overhead checks ride along, each holding its layer to within 5% of
+//! the plain run (plus a small floor absorbing timer noise): resource
+//! governance under a generous never-breached budget, and span tracing via
+//! `SedaReader::set_tracing` — so neither observability layer can quietly
+//! tax the hot path.
+//!
 //! Usage: `cargo run --release -p seda-bench --bin perf_smoke [-- <baseline.json>]`
 //! (default baseline path `BENCH_pipeline.json`).  Exits non-zero on
 //! regression or when the baseline row cannot be found.
@@ -110,6 +116,34 @@ fn main() -> ExitCode {
             "perf_smoke: GOVERNANCE OVERHEAD — governed TOPK took {governed_ms:.3}ms, \
              ungoverned {:.3}ms (allowed {overhead_budget_ms:.3}ms)",
             topk.wall_ms
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Span tracing must also be close to free: re-measure the same TOPK
+    // request untraced and traced on one reader handle and require the traced
+    // wall time to stay within 5% (plus the same timer-noise floor).  A
+    // tracing layer that allocates or formats on the hot path shows up here.
+    let (_, untraced_ms) =
+        best_of_three(|| reader.execute(&request).expect("untraced TOPK executes"));
+    reader.set_tracing(true);
+    let (traced, traced_ms) =
+        best_of_three(|| reader.execute(&request).expect("traced TOPK executes"));
+    reader.set_tracing(false);
+    let tracing_budget_ms = (untraced_ms * 1.05).max(untraced_ms + 5.0);
+    println!(
+        "perf_smoke: traced TOPK {traced_ms:.3}ms (untraced {untraced_ms:.3}ms, \
+         budget {tracing_budget_ms:.3}ms, {} spans)",
+        traced.profile.spans.len()
+    );
+    if traced.profile.spans.is_empty() {
+        eprintln!("perf_smoke: traced run recorded no spans");
+        return ExitCode::FAILURE;
+    }
+    if traced_ms > tracing_budget_ms {
+        eprintln!(
+            "perf_smoke: TRACING OVERHEAD — traced TOPK took {traced_ms:.3}ms, \
+             untraced {untraced_ms:.3}ms (allowed {tracing_budget_ms:.3}ms)"
         );
         return ExitCode::FAILURE;
     }

@@ -8,7 +8,9 @@
 //! small and the same reports can be produced by examples and integration
 //! tests.
 
-use seda_core::{BuildProfile, EngineConfig, SedaEngine, SedaQuery, SedaRequest, SedaResponse};
+use seda_core::{
+    BuildProfile, EngineConfig, Histogram, SedaEngine, SedaQuery, SedaRequest, SedaResponse,
+};
 use seda_datagen::{
     factbook, googlebase, mondial, recipeml, Dataset, FactbookConfig, GoogleBaseConfig,
     MondialConfig, RecipeMlConfig,
@@ -215,8 +217,10 @@ pub struct TopKMeasurement {
     pub k: usize,
     /// Result tuples returned.
     pub tuples: usize,
-    /// Best-of-three wall time in milliseconds.
+    /// Best-of-reps wall time in milliseconds.
     pub wall_ms: f64,
+    /// Latency quantiles over every timed rep.
+    pub stats: RepStats,
     /// Entries consumed from sorted posting lists.
     pub sorted_accesses: usize,
     /// Random-access score probes.
@@ -237,7 +241,8 @@ impl TopKMeasurement {
     pub fn to_json(&self, indent: &str) -> String {
         format!(
             "{indent}{{\"workload\": {:?}, \"query\": {:?}, \"algo\": {:?}, \"k\": {}, \
-             \"tuples\": {}, \"wall_ms\": {:.3}, \"sorted_accesses\": {}, \
+             \"tuples\": {}, \"wall_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"reps\": {}, \"sorted_accesses\": {}, \
              \"random_accesses\": {}, \"tuples_scored\": {}, \"label_probes\": {}, \
              \"candidates_truncated\": {}, \"early_terminated\": {}}}",
             self.workload,
@@ -246,6 +251,10 @@ impl TopKMeasurement {
             self.k,
             self.tuples,
             self.wall_ms,
+            self.stats.p50_ms,
+            self.stats.p95_ms,
+            self.stats.p99_ms,
+            self.stats.reps,
             self.sorted_accesses,
             self.random_accesses,
             self.tuples_scored,
@@ -274,10 +283,11 @@ impl TopKWorkload {
     /// Measures TA at k ∈ {1, 10, 100} through a [`seda_core::SedaReader`]
     /// (the facade's steady-state serving configuration: one per-thread
     /// handle, scratch reused across queries), plus the exhaustive naive
-    /// baseline at k = 10 via the raw searcher.  Each number is
-    /// best-of-three after one warm-up run.  The request is planned once
-    /// outside the timed loop, so the TA and naive numbers both measure
-    /// pure execution over pre-resolved term inputs.
+    /// baseline at k = 10 via the raw searcher.  Each row is measured over
+    /// [`bench_reps`] timed reps after one warm-up run (`wall_ms` is the
+    /// best rep; the quantile columns summarise all reps).  The request is
+    /// planned once outside the timed loop, so the TA and naive numbers both
+    /// measure pure execution over pre-resolved term inputs.
     pub fn measure(&self) -> Vec<TopKMeasurement> {
         let mut reader = self.engine.reader();
         let mut out = Vec::new();
@@ -285,10 +295,10 @@ impl TopKWorkload {
             let request = SedaRequest::parse(&format!("TOPK {k} FOR {}", self.query_text))
                 .expect("workload request parses");
             let plan = self.engine.plan(&request).expect("workload request plans");
-            let (response, wall_ms) =
-                best_of_three(|| reader.execute_plan(&plan).expect("workload executes"));
+            let (response, stats) =
+                measure_reps(|| reader.execute_plan(&plan).expect("workload executes"));
             let result = response.top_k().expect("TOPK response carries a result").clone();
-            out.push(self.measurement("ta", k, wall_ms, &result));
+            out.push(self.measurement("ta", k, stats, &result));
         }
         // The naive baseline is not part of the public facade: it exists to
         // quantify the Threshold Algorithm's early termination.
@@ -300,9 +310,9 @@ impl TopKWorkload {
         let terms = self.term_inputs();
         let mut scratch = seda_topk::SearchScratch::new();
         let config = seda_topk::TopKConfig::with_k(10);
-        let (result, wall_ms) =
-            best_of_three(|| searcher.search_naive_with(&terms, &config, &mut scratch));
-        out.push(self.measurement("naive", 10, wall_ms, &result));
+        let (result, stats) =
+            measure_reps(|| searcher.search_naive_with(&terms, &config, &mut scratch));
+        out.push(self.measurement("naive", 10, stats, &result));
         out
     }
 
@@ -310,7 +320,7 @@ impl TopKWorkload {
         &self,
         algo: &'static str,
         k: usize,
-        wall_ms: f64,
+        stats: RepStats,
         result: &seda_topk::TopKResult,
     ) -> TopKMeasurement {
         TopKMeasurement {
@@ -319,7 +329,8 @@ impl TopKWorkload {
             algo,
             k,
             tuples: result.tuples.len(),
-            wall_ms,
+            wall_ms: stats.best_ms,
+            stats,
             sorted_accesses: result.stats.sorted_accesses,
             random_accesses: result.stats.random_accesses,
             tuples_scored: result.stats.tuples_scored,
@@ -344,9 +355,73 @@ pub fn best_of_three<T>(mut f: impl FnMut() -> T) -> (T, f64) {
     (result, best)
 }
 
-/// The three standard top-k benchmark workloads (googlebase, mondial and
-/// factbook corpora with queries that exercise joins, cross-document BFS and
-/// phrase scoring respectively).
+/// Wall-time statistics of one repeated measurement: the best rep (the
+/// committed `wall_ms`, least affected by scheduler noise) plus latency
+/// quantiles over every rep, so the reports expose tail behaviour too.
+#[derive(Debug, Clone, Copy)]
+pub struct RepStats {
+    /// Best single-rep wall time in milliseconds.
+    pub best_ms: f64,
+    /// Median rep wall time in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile rep wall time in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile rep wall time in milliseconds.
+    pub p99_ms: f64,
+    /// Timed repetitions measured (excluding the warm-up run).
+    pub reps: usize,
+}
+
+impl RepStats {
+    /// Element-wise sum of two measurements, for synthetic rows composed of
+    /// separately measured phases (an upper bound on the composed quantiles).
+    pub fn plus(&self, other: &RepStats) -> RepStats {
+        RepStats {
+            best_ms: self.best_ms + other.best_ms,
+            p50_ms: self.p50_ms + other.p50_ms,
+            p95_ms: self.p95_ms + other.p95_ms,
+            p99_ms: self.p99_ms + other.p99_ms,
+            reps: self.reps.min(other.reps),
+        }
+    }
+}
+
+/// Timed repetitions per measurement: `BENCH_REPS` when set, else 30 (the
+/// minimum for the committed p95/p99 columns to be meaningful).
+pub fn bench_reps() -> usize {
+    std::env::var("BENCH_REPS").ok().and_then(|v| v.parse().ok()).filter(|&r| r > 0).unwrap_or(30)
+}
+
+/// Runs `f` once for warm-up and then [`bench_reps`] timed times, feeding
+/// every rep into a metrics [`Histogram`] — the same log-bucketed ladder the
+/// serving path records request latencies on — and returning the last result
+/// together with the rep statistics.
+pub fn measure_reps<T>(mut f: impl FnMut() -> T) -> (T, RepStats) {
+    let reps = bench_reps();
+    let histogram = Histogram::new();
+    let mut best = f64::INFINITY;
+    let mut result = f();
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        result = f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        histogram.observe_secs(ms / 1e3);
+    }
+    let stats = RepStats {
+        best_ms: best,
+        p50_ms: histogram.quantile_ms(0.50),
+        p95_ms: histogram.quantile_ms(0.95),
+        p99_ms: histogram.quantile_ms(0.99),
+        reps,
+    };
+    (result, stats)
+}
+
+/// The four standard top-k benchmark workloads: googlebase, mondial,
+/// factbook and recipeml corpora with queries that exercise joins,
+/// cross-document BFS, phrase scoring and deep ingredient nesting
+/// respectively.
 pub fn topk_workloads() -> Vec<TopKWorkload> {
     let build = |collection: Collection| {
         SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
@@ -369,6 +444,11 @@ pub fn topk_workloads() -> Vec<TopKWorkload> {
             name: "factbook",
             query_text: r#"(*, "United States") AND (trade_country, *) AND (percentage, *)"#,
             engine: factbook_engine(40, 3),
+        },
+        TopKWorkload {
+            name: "recipeml",
+            query_text: "(title, *) AND (item, *)",
+            engine: build(recipeml::generate(&RecipeMlConfig::small()).expect("generate recipeml")),
         },
     ]
 }
@@ -413,9 +493,11 @@ pub struct PipelineMeasurement {
     pub request: String,
     /// Rows in the response payload.
     pub rows: usize,
-    /// Best-of-three request → response wall time in milliseconds
+    /// Best-of-reps request → response wall time in milliseconds
     /// (plan + execution).
     pub wall_ms: f64,
+    /// Latency quantiles over every timed rep.
+    pub stats: RepStats,
     /// Planning share of the measured run, in milliseconds.
     pub plan_ms: f64,
     /// Sorted posting-list accesses of the measured run.
@@ -439,7 +521,8 @@ impl PipelineMeasurement {
     pub fn to_json(&self, indent: &str) -> String {
         format!(
             "{indent}{{\"workload\": {:?}, \"statement\": {:?}, \"request\": {:?}, \
-             \"rows\": {}, \"wall_ms\": {:.3}, \"plan_ms\": {:.3}, \
+             \"rows\": {}, \"wall_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"reps\": {}, \"plan_ms\": {:.3}, \
              \"sorted_accesses\": {}, \"random_accesses\": {}, \"label_probes\": {}, \
              \"budget_spent\": {}, \"degraded\": {}}}",
             self.workload,
@@ -447,6 +530,10 @@ impl PipelineMeasurement {
             self.request,
             self.rows,
             self.wall_ms,
+            self.stats.p50_ms,
+            self.stats.p95_ms,
+            self.stats.p99_ms,
+            self.stats.reps,
             self.plan_ms,
             self.sorted_accesses,
             self.random_accesses,
@@ -458,7 +545,9 @@ impl PipelineMeasurement {
 }
 
 /// Measures the full request → response pipeline of one workload: every
-/// statement of the Fig. 4 engine, best-of-three through one reader handle.
+/// statement of the Fig. 4 engine, [`bench_reps`] timed reps through one
+/// reader handle (`wall_ms` is the best rep; the quantile columns summarise
+/// all reps).
 ///
 /// The `CONNECTIONS` statement derives its summary from a top-k result, so
 /// its row reuses the tuples of the measured `TOPK` run instead of re-running
@@ -470,14 +559,15 @@ pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
     let mut reader = engine.reader();
     let parse = |text: String| SedaRequest::parse(&text).expect("pipeline request parses");
     let mut measure = |request: &SedaRequest| {
-        let (response, wall_ms): (SedaResponse, f64) =
-            best_of_three(|| reader.execute(request).expect("pipeline request executes"));
+        let (response, stats): (SedaResponse, RepStats) =
+            measure_reps(|| reader.execute(request).expect("pipeline request executes"));
         let row = PipelineMeasurement {
             workload: workload.name,
             statement: request.statement.name().to_string(),
             request: request.render(),
             rows: response.profile.rows,
-            wall_ms,
+            wall_ms: stats.best_ms,
+            stats,
             plan_ms: response.profile.plan_secs * 1e3,
             sorted_accesses: response.profile.sorted_accesses,
             random_accesses: response.profile.random_accesses,
@@ -495,16 +585,18 @@ pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
     // CONNECTIONS: share the already-scored top-k tuples.
     let connections_request = parse(format!("CONNECTIONS 10 FOR {}", workload.query_text));
     let top_k = topk_response.top_k().expect("TOPK response carries a result").clone();
-    let (_, plan_ms) =
-        best_of_three(|| engine.plan(&connections_request).expect("pipeline request plans"));
-    let (summary, discover_ms) = best_of_three(|| engine.connection_summary(&top_k));
+    let (_, plan_stats) =
+        measure_reps(|| engine.plan(&connections_request).expect("pipeline request plans"));
+    let (summary, discover_stats) = measure_reps(|| engine.connection_summary(&top_k));
+    let stats = plan_stats.plus(&discover_stats);
     out.push(PipelineMeasurement {
         workload: workload.name,
         statement: connections_request.statement.name().to_string(),
         request: connections_request.render(),
         rows: summary.len(),
-        wall_ms: plan_ms + discover_ms,
-        plan_ms,
+        wall_ms: stats.best_ms,
+        stats,
+        plan_ms: plan_stats.best_ms,
         sorted_accesses: 0,
         random_accesses: 0,
         label_probes: 0,
@@ -591,6 +683,19 @@ mod tests {
         assert_eq!(sequential.documents, parallel.documents);
         let rendered = render_build_comparison(&sequential, &parallel);
         assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
+    fn measure_reps_reports_ordered_quantiles() {
+        let (value, stats) = measure_reps(|| 42u32);
+        assert_eq!(value, 42);
+        assert_eq!(stats.reps, bench_reps());
+        assert!(stats.best_ms >= 0.0);
+        assert!(stats.p50_ms <= stats.p95_ms);
+        assert!(stats.p95_ms <= stats.p99_ms);
+        let doubled = stats.plus(&stats);
+        assert!(doubled.p99_ms >= stats.p99_ms);
+        assert_eq!(doubled.reps, stats.reps);
     }
 
     #[test]

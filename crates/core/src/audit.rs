@@ -49,6 +49,7 @@ impl SedaEngine {
         take(self.context_index().verify());
         take(self.graph().verify());
         take(self.guides().verify());
+        take(self.metrics().verify());
         // The shared scratch is part of the engine's mutable state; skip it
         // only if another query holds it right now (it is re-audited after
         // every governed search anyway).

@@ -32,9 +32,11 @@ use seda_xmlstore::{parse_collection, Collection, DocId, NodeId, PathId};
 use crate::error::SedaError;
 use crate::faults;
 use crate::govern::{RequestContext, Stopwatch};
+use crate::metrics::{names, MetricsRegistry};
 use crate::parallel::{effective_parallelism, panic_message, parallel_map, WorkerPanic};
 use crate::query::{ContextSpec, SedaQuery};
 use crate::summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
+use crate::trace::{span, SpanRecord, Tracer};
 
 /// Lifts a contained build-worker panic into the unified error taxonomy.
 impl From<WorkerPanic> for SedaError {
@@ -153,6 +155,10 @@ pub struct BuildProfile {
     pub verify_ms: f64,
     /// End-to-end engine build wall time (includes the post-build audit).
     pub total_secs: f64,
+    /// Hierarchical span breakdown of the build (per-substrate shard/merge
+    /// phases, link derivation, audit verify), recorded by the build-path
+    /// [`crate::Tracer`].
+    pub spans: Vec<SpanRecord>,
 }
 
 impl BuildProfile {
@@ -255,6 +261,9 @@ pub struct SedaEngine {
     /// convenience path).  Reader-handle queries never increment this; the
     /// concurrency tests pin that invariant.
     shared_scratch_queries: AtomicUsize,
+    /// Engine-wide metrics: counters, gauges and latency histograms every
+    /// governed request records into (see [`crate::metrics`]).
+    metrics: MetricsRegistry,
     /// How many shared-scratch queries could not take the cached scratch
     /// (lock contention) and fell back to a fresh allocation.  A *poisoned*
     /// lock does not count: poison is cleared and the cached scratch is
@@ -317,18 +326,30 @@ impl SedaEngine {
             documents: collection.len(),
             ..BuildProfile::default()
         };
+        // The build path is always traced: builds are rare and expensive, so
+        // the span breakdown is worth its (small, bounded) cost.
+        let mut tracer = Tracer::enabled();
+        tracer.begin();
 
         let (graph, node_index, context_index, guides) = if threads <= 1 {
             profile.shards = 1;
-            Self::build_substrates_sequential(&collection, &config, &mut profile)?
+            Self::build_substrates_sequential(&collection, &config, &mut profile, &mut tracer)?
         } else {
             profile.shards = collection.len();
-            Self::build_substrates_sharded(&collection, &config, threads, &mut profile)?
+            Self::build_substrates_sharded(
+                &collection,
+                &config,
+                threads,
+                &mut profile,
+                &mut tracer,
+            )?
         };
 
+        let links_span = tracer.enter(span::BUILD_LINKS);
         let links_start = Stopwatch::start();
         let links = guide_links(&collection, &graph, &guides);
         profile.links_secs = links_start.elapsed_secs();
+        tracer.exit(links_span);
         profile.label_bytes = graph.connectivity().label_bytes();
 
         let mut engine = SedaEngine {
@@ -343,12 +364,16 @@ impl SedaEngine {
             profile,
             query_scratch: Mutex::new(SearchScratch::new()),
             shared_scratch_queries: AtomicUsize::new(0),
+            metrics: MetricsRegistry::new(),
             fresh_scratch_fallbacks: AtomicUsize::new(0),
         };
+        engine.metrics.gauge(names::ENGINE_DOCUMENTS).set(engine.collection.len() as u64);
+        engine.metrics.gauge(names::ORACLE_LABEL_BYTES).set(engine.profile.label_bytes as u64);
 
         // Post-build audit: a freshly built engine must satisfy every
         // substrate invariant; a violation here means the build itself is
         // broken, which is an internal defect rather than a user error.
+        let verify_span = tracer.enter(span::BUILD_VERIFY);
         let verify_start = Stopwatch::start();
         if let Err(violations) = engine.verify() {
             let first = &violations[0];
@@ -362,7 +387,9 @@ impl SedaEngine {
             )));
         }
         engine.profile.verify_ms = verify_start.elapsed_secs() * 1e3;
+        tracer.exit(verify_span);
         engine.profile.total_secs = build_start.elapsed_secs();
+        engine.profile.spans = tracer.take_spans();
 
         Ok(engine)
     }
@@ -373,23 +400,32 @@ impl SedaEngine {
         collection: &Collection,
         config: &EngineConfig,
         profile: &mut BuildProfile,
+        tracer: &mut Tracer,
     ) -> Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet), SedaError> {
+        let s = tracer.enter(span::BUILD_GRAPH);
         let t = Stopwatch::start();
         faults::fire("oracle-build")?;
         let graph = DataGraph::build(collection, &config.graph);
         (profile.graph, _) = PhaseProfile::finish_shards(t);
+        tracer.exit(s);
 
+        let s = tracer.enter(span::BUILD_NODE_INDEX);
         let t = Stopwatch::start();
         let node_index = NodeIndex::build(collection);
         (profile.node_index, _) = PhaseProfile::finish_shards(t);
+        tracer.exit(s);
 
+        let s = tracer.enter(span::BUILD_CONTEXT_INDEX);
         let t = Stopwatch::start();
         let context_index = ContextIndex::build(collection, config.count_storage);
         (profile.context_index, _) = PhaseProfile::finish_shards(t);
+        tracer.exit(s);
 
+        let s = tracer.enter(span::BUILD_GUIDES);
         let t = Stopwatch::start();
         let guides = DataGuideSet::build(collection, config.dataguide_threshold)?;
         (profile.guides, _) = PhaseProfile::finish_shards(t);
+        tracer.exit(s);
 
         Ok((graph, node_index, context_index, guides))
     }
@@ -401,19 +437,28 @@ impl SedaEngine {
         config: &EngineConfig,
         threads: usize,
         profile: &mut BuildProfile,
+        tracer: &mut Tracer,
     ) -> Result<(DataGraph, NodeIndex, ContextIndex, DataGuideSet), SedaError> {
         let docs: Vec<DocId> = collection.documents().map(|d| d.id).collect();
 
+        let outer = tracer.enter(span::BUILD_GRAPH);
+        let inner = tracer.enter(span::SHARD);
         let t = Stopwatch::start();
         let shards = parallel_map(&docs, threads, |&doc| {
             DataGraph::build_shard(collection, doc, &config.graph)
         })?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        tracer.exit(inner);
+        let inner = tracer.enter(span::MERGE);
         faults::fire("oracle-build")?;
         let graph = DataGraph::merge(collection, shards);
         phase.finish_merge(merge_start);
+        tracer.exit(inner);
         profile.graph = phase;
+        tracer.exit(outer);
 
+        let outer = tracer.enter(span::BUILD_NODE_INDEX);
+        let inner = tracer.enter(span::SHARD);
         let t = Stopwatch::start();
         let shards = parallel_map(&docs, threads, |&doc| {
             NodeIndex::build_shard(
@@ -423,11 +468,17 @@ impl SedaEngine {
             )
         })?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        tracer.exit(inner);
+        let inner = tracer.enter(span::MERGE);
         faults::fire("shard-merge")?;
         let node_index = NodeIndex::merge(shards);
         phase.finish_merge(merge_start);
+        tracer.exit(inner);
         profile.node_index = phase;
+        tracer.exit(outer);
 
+        let outer = tracer.enter(span::BUILD_CONTEXT_INDEX);
+        let inner = tracer.enter(span::SHARD);
         let t = Stopwatch::start();
         let shards = parallel_map(&docs, threads, |&doc| {
             ContextIndex::build_shard(
@@ -438,18 +489,28 @@ impl SedaEngine {
             )
         })?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        tracer.exit(inner);
+        let inner = tracer.enter(span::MERGE);
         let context_index = ContextIndex::merge(collection, config.count_storage, shards);
         phase.finish_merge(merge_start);
+        tracer.exit(inner);
         profile.context_index = phase;
+        tracer.exit(outer);
 
+        let outer = tracer.enter(span::BUILD_GUIDES);
+        let inner = tracer.enter(span::SHARD);
         let t = Stopwatch::start();
         let shards =
             parallel_map(&docs, threads, |&doc| DataGuideSet::build_shard(collection, [doc]))?;
         let (mut phase, merge_start) = PhaseProfile::finish_shards(t);
+        tracer.exit(inner);
+        let inner = tracer.enter(span::MERGE);
         let shards = shards.into_iter().collect::<seda_xmlstore::Result<Vec<_>>>()?;
         let guides = DataGuideSet::merge(config.dataguide_threshold, shards);
         phase.finish_merge(merge_start);
+        tracer.exit(inner);
         profile.guides = phase;
+        tracer.exit(outer);
 
         Ok((graph, node_index, context_index, guides))
     }
@@ -457,6 +518,19 @@ impl SedaEngine {
     /// Timings and shape of the build that produced this engine.
     pub fn build_profile(&self) -> &BuildProfile {
         &self.profile
+    }
+
+    /// The engine-wide metrics registry: counters, gauges and latency
+    /// histograms recorded by every governed request (see [`crate::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry — corruption-test hook for the
+    /// seeded-violation audit tests; not part of the stable API.
+    #[doc(hidden)]
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
     }
 
     /// The shared-scratch mutex, for the engine-level audit
@@ -569,6 +643,7 @@ impl SedaEngine {
             }
             Err(TryLockError::WouldBlock) => {
                 self.fresh_scratch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.metrics.counter(names::FRESH_SCRATCH_FALLBACKS_TOTAL, "").inc();
                 f(&mut SearchScratch::new())
             }
         }
@@ -1118,8 +1193,10 @@ impl SedaEngine {
 
     /// Evaluates a compiled twig pattern and shapes the matches as a
     /// [`QueryResultTable`]: one column per output pattern node (labelled
-    /// with the node's root-to-leaf label chain), one row per match.
-    pub(crate) fn twig_table(&self, pattern: &TwigPattern) -> QueryResultTable {
+    /// with the node's root-to-leaf label chain), one row per match.  The
+    /// second element reports the document nodes the evaluation scanned
+    /// ([`seda_twigjoin::TwigMatches::nodes_visited`]).
+    pub(crate) fn twig_table(&self, pattern: &TwigPattern) -> (QueryResultTable, usize) {
         let outputs = pattern.output_nodes();
         let column_names: Vec<String> = outputs
             .iter()
@@ -1150,7 +1227,7 @@ impl SedaEngine {
                 table.rows.push(shaped);
             }
         }
-        table
+        (table, matches.nodes_visited)
     }
 }
 

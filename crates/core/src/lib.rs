@@ -63,6 +63,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod govern;
+pub mod metrics;
 pub mod parallel;
 pub mod plan;
 pub mod query;
@@ -71,11 +72,13 @@ pub mod request;
 pub mod response;
 pub mod session;
 pub mod summaries;
+pub mod trace;
 
 pub use audit::verify_exec_profile;
 pub use engine::{BuildProfile, EngineConfig, PhaseProfile, QueryProfile, SedaEngine};
 pub use error::SedaError;
 pub use govern::{Budget, CancelToken, RequestContext, Stopwatch};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use parallel::WorkerPanic;
 pub use plan::{PlanStep, QueryPlan};
 pub use query::{ContextSpec, QueryError, QueryTerm, SedaQuery};
@@ -84,6 +87,7 @@ pub use request::{RequestBuilder, SedaRequest, Statement};
 pub use response::{ExecProfile, ResponsePayload, SedaResponse};
 pub use session::{SedaSession, Session, SessionStage};
 pub use summaries::{ConnectionSummary, ContextBucket, ContextSelections, ContextSummary};
+pub use trace::{SpanCounters, SpanRecord, Tracer};
 
 // Re-export the crates a downstream application typically needs alongside the
 // engine, so `seda-core` works as a single entry point.

@@ -27,12 +27,14 @@ use seda_topk::{LimitBreach, SearchScratch, TopKResult};
 use crate::engine::{catch_internal, SedaEngine};
 use crate::error::SedaError;
 use crate::govern::{RequestContext, Stopwatch};
+use crate::metrics::names;
 use crate::parallel::{effective_parallelism, parallel_map_with};
 use crate::plan::QueryPlan;
 use crate::query::SedaQuery;
 use crate::request::{SedaRequest, Statement};
 use crate::response::{ExecProfile, ResponsePayload, SedaResponse};
 use crate::summaries::{ConnectionSummary, ContextSelections, ContextSummary};
+use crate::trace::{render_analyzed, span, SpanCounters, Tracer};
 
 /// Resolves a governance breach against the request's policy: cancellation
 /// and (recomputed) deadlines keep their precise numbers, a degraded-opt-in
@@ -86,6 +88,10 @@ fn truncate_payload(payload: &mut ResponsePayload, keep: usize) {
 pub struct SedaReader<'e> {
     engine: &'e SedaEngine,
     scratch: SearchScratch,
+    /// Per-reader span recorder.  Disabled by default (enters cost one
+    /// branch); enabled via [`SedaReader::set_tracing`] or, for a single
+    /// request, by `EXPLAIN ANALYZE`.
+    tracer: Tracer,
 }
 
 impl SedaEngine {
@@ -95,7 +101,7 @@ impl SedaEngine {
     /// never contend: each owns its scratch, so one reader per thread serves
     /// concurrent queries without blocking on the engine's shared state.
     pub fn reader(&self) -> SedaReader<'_> {
-        SedaReader { engine: self, scratch: SearchScratch::new() }
+        SedaReader { engine: self, scratch: SearchScratch::new(), tracer: Tracer::disabled() }
     }
 
     /// Plans and executes a batch of requests, fanning them across a pool of
@@ -142,9 +148,32 @@ impl<'e> SedaReader<'e> {
         Ok(self.engine.plan(request)?.explain())
     }
 
+    /// Turns span tracing on or off for every subsequent request this reader
+    /// executes.  Traced requests carry their span tree in
+    /// [`ExecProfile::spans`]; untraced requests leave it empty.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.reset();
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// True when this reader records spans for every request.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
     /// Parses and executes a textual request.
     pub fn execute_text(&mut self, text: &str) -> Result<SedaResponse, SedaError> {
-        let request = SedaRequest::parse(text)?;
+        self.tracer.begin_if_idle();
+        let parse_span = self.tracer.enter(span::PARSE);
+        let request = match SedaRequest::parse(text) {
+            Ok(request) => request,
+            Err(err) => {
+                self.tracer.exit(parse_span);
+                self.tracer.reset();
+                return Err(err);
+            }
+        };
+        self.tracer.exit(parse_span);
         self.execute(&request)
     }
 
@@ -167,18 +196,97 @@ impl<'e> SedaReader<'e> {
         request: &SedaRequest,
         ctx: &RequestContext,
     ) -> Result<SedaResponse, SedaError> {
+        // EXPLAIN ANALYZE forces tracing on for this one request, restoring
+        // the reader's steady-state setting afterwards.
+        let analyze = request.explain && request.analyze;
+        let force_tracing = analyze && !self.tracer.is_enabled();
+        if force_tracing {
+            self.tracer.set_enabled(true);
+        }
+        let outcome = self.execute_governed_inner(request, ctx);
+        if force_tracing {
+            self.tracer.set_enabled(false);
+        }
+        self.record_request_metrics(request, &outcome);
+        outcome
+    }
+
+    fn execute_governed_inner(
+        &mut self,
+        request: &SedaRequest,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
+        self.tracer.begin_if_idle();
+        let plan_span = self.tracer.enter(span::PLAN);
         let plan_start = Stopwatch::start();
-        let plan = self.engine.plan(request)?;
+        let plan = match self.engine.plan(request) {
+            Ok(plan) => plan,
+            Err(err) => {
+                self.tracer.exit(plan_span);
+                self.tracer.reset();
+                return Err(err);
+            }
+        };
         let plan_secs = plan_start.elapsed_secs();
-        if request.explain {
+        self.tracer.exit(plan_span);
+        if request.explain && !request.analyze {
             let mut profile = ExecProfile { plan_secs, ..ExecProfile::default() };
+            profile.spans = self.tracer.take_spans();
             let payload = ResponsePayload::Explain(plan.explain());
             profile.rows = payload.rows();
             return Ok(SedaResponse { payload, profile });
         }
         let mut response = self.execute_plan_governed(&plan, ctx)?;
         response.profile.plan_secs = plan_secs;
+        if request.analyze {
+            // EXPLAIN ANALYZE: the payload becomes the annotated transcript
+            // (plan + budget accounting + executed span tree); the profile
+            // keeps the execution's counters, wall split and spans.
+            let transcript = render_analyzed(&plan.explain(), &response.profile);
+            response.payload = ResponsePayload::Explain(transcript);
+        }
         Ok(response)
+    }
+
+    /// Records the request's outcome into the engine-wide metrics registry
+    /// (see [`crate::metrics`]).  Only this facade entry point records, so a
+    /// request is counted exactly once however deep the pipeline recursed.
+    fn record_request_metrics(
+        &self,
+        request: &SedaRequest,
+        outcome: &Result<SedaResponse, SedaError>,
+    ) {
+        let metrics = self.engine.metrics();
+        let label = request.statement.name();
+        metrics.counter(names::REQUESTS_TOTAL, label).inc();
+        match outcome {
+            Ok(response) => {
+                metrics
+                    .counter(names::ROWS_RETURNED_TOTAL, label)
+                    .add(response.profile.rows as u64);
+                metrics
+                    .histogram(names::REQUEST_LATENCY_SECONDS, label)
+                    .observe_secs(response.profile.total_secs());
+                if response.profile.degraded {
+                    metrics.counter(names::DEGRADED_RESPONSES_TOTAL, "").inc();
+                }
+            }
+            Err(err) => {
+                metrics.counter(names::REQUEST_ERRORS_TOTAL, "").inc();
+                match err {
+                    SedaError::Limit { .. } => {
+                        metrics.counter(names::BUDGET_BREACHES_TOTAL, "").inc();
+                    }
+                    SedaError::Cancelled => {
+                        metrics.counter(names::CANCELLATIONS_TOTAL, "").inc();
+                    }
+                    SedaError::Internal(_) => {
+                        metrics.counter(names::PANICS_CONTAINED_TOTAL, "").inc();
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Executes an already-planned request.
@@ -199,6 +307,11 @@ impl<'e> SedaReader<'e> {
             // mid-update; rebuild them so the next query starts clean.
             self.scratch = SearchScratch::new();
         }
+        if outcome.is_err() {
+            // Spans left open by the failed execution (including an unwound
+            // one) must not leak into the next request's trace.
+            self.tracer.reset();
+        }
         outcome
     }
 
@@ -207,12 +320,16 @@ impl<'e> SedaReader<'e> {
         plan: &QueryPlan,
         ctx: &RequestContext,
     ) -> Result<SedaResponse, SedaError> {
+        self.tracer.begin_if_idle();
+        let exec_span = self.tracer.enter(span::EXECUTE);
         let exec_start = Stopwatch::start();
         let mut profile = ExecProfile::default();
         ctx.check_cancelled()?;
         let limits = ctx.search_limits();
         let mut payload = match &plan.statement {
             Statement::TopK { k } => {
+                let s = self.tracer.enter(span::SEARCH);
+                let before = profile.clone();
                 let (result, _, breach) = self.engine.search_terms_governed(
                     &plan.term_inputs,
                     *k,
@@ -220,6 +337,9 @@ impl<'e> SedaReader<'e> {
                     &mut self.scratch,
                 );
                 profile.absorb(&result.stats);
+                let mut counters = SpanCounters::delta(&before, &profile);
+                counters.rows = result.tuples.len();
+                self.tracer.exit_with(s, counters);
                 resolve_breach(breach, ctx, &mut profile)?;
                 ResponsePayload::TopK(result)
             }
@@ -228,11 +348,17 @@ impl<'e> SedaReader<'e> {
                     .query
                     .as_ref()
                     .expect("invariant: the planner attaches a query to this statement shape");
+                let s = self.tracer.enter(span::CONTEXT_SUMMARY);
                 let contexts = self.engine.context_summary(query);
+                let counters =
+                    SpanCounters { rows: contexts.total_contexts(), ..SpanCounters::default() };
+                self.tracer.exit_with(s, counters);
                 resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
                 ResponsePayload::Contexts(contexts)
             }
             Statement::ConnectionSummary { k } => {
+                let s = self.tracer.enter(span::SEARCH);
+                let before = profile.clone();
                 let (top_k, _, breach) = self.engine.search_terms_governed(
                     &plan.term_inputs,
                     *k,
@@ -240,9 +366,15 @@ impl<'e> SedaReader<'e> {
                     &mut self.scratch,
                 );
                 profile.absorb(&top_k.stats);
+                let mut counters = SpanCounters::delta(&before, &profile);
+                counters.rows = top_k.tuples.len();
+                self.tracer.exit_with(s, counters);
                 resolve_breach(breach, ctx, &mut profile)?;
                 ctx.check_cancelled()?;
+                let s = self.tracer.enter(span::DISCOVER_CONNECTIONS);
                 let summary = self.engine.connection_summary(&top_k);
+                let counters = SpanCounters { rows: summary.len(), ..SpanCounters::default() };
+                self.tracer.exit_with(s, counters);
                 resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
                 ResponsePayload::Connections { top_k, summary }
             }
@@ -251,6 +383,7 @@ impl<'e> SedaReader<'e> {
                     .query
                     .as_ref()
                     .expect("invariant: the planner attaches a query to this statement shape");
+                let s = self.tracer.enter(span::COMPLETE_RESULTS);
                 let (table, breach) = self.engine.complete_results_governed(
                     query,
                     &plan.selections,
@@ -258,6 +391,8 @@ impl<'e> SedaReader<'e> {
                     &mut self.scratch,
                     ctx,
                 )?;
+                let counters = SpanCounters { rows: table.len(), ..SpanCounters::default() };
+                self.tracer.exit_with(s, counters);
                 resolve_breach(breach, ctx, &mut profile)?;
                 ResponsePayload::Table(table)
             }
@@ -266,7 +401,11 @@ impl<'e> SedaReader<'e> {
                     .pattern
                     .as_ref()
                     .expect("invariant: the planner compiles twig statements to a pattern");
-                let mut table = self.engine.twig_table(pattern);
+                let s = self.tracer.enter(span::TWIG_EVALUATE);
+                let (mut table, nodes_visited) = self.engine.twig_table(pattern);
+                let counters =
+                    SpanCounters { nodes_visited, rows: table.len(), ..SpanCounters::default() };
+                self.tracer.exit_with(s, counters);
                 if let Some(breach) = ctx.twig_breach(table.len()) {
                     let keep = breach.budget as usize;
                     resolve_breach(Some(breach), ctx, &mut profile)?;
@@ -280,6 +419,7 @@ impl<'e> SedaReader<'e> {
                     .query
                     .as_ref()
                     .expect("invariant: the planner attaches a query to this statement shape");
+                let s = self.tracer.enter(span::COMPLETE_RESULTS);
                 let (table, breach) = self.engine.complete_results_governed(
                     query,
                     &plan.selections,
@@ -287,15 +427,26 @@ impl<'e> SedaReader<'e> {
                     &mut self.scratch,
                     ctx,
                 )?;
+                let counters = SpanCounters { rows: table.len(), ..SpanCounters::default() };
+                self.tracer.exit_with(s, counters);
                 resolve_breach(breach, ctx, &mut profile)?;
                 ctx.check_cancelled()?;
+                let s = self.tracer.enter(span::DERIVE_STAR_SCHEMA);
                 let build = self.engine.build_star_schema(&table, &plan.cube_options);
+                self.tracer.exit(s);
                 let fact_table =
                     build.schema.fact(fact).ok_or_else(|| SedaError::UnknownFact(fact.clone()))?;
                 let measure = measure.clone().unwrap_or_else(|| fact.clone());
                 let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
                 let cube_query = CubeQuery::sum(&group_refs, &measure).with_agg(*agg);
-                let mut cube = aggregate(fact_table, &cube_query)?;
+                let s = self.tracer.enter(span::AGGREGATE);
+                let cube = aggregate(fact_table, &cube_query);
+                let counters = SpanCounters {
+                    rows: cube.as_ref().map(|c| c.rows_scanned).unwrap_or(0),
+                    ..SpanCounters::default()
+                };
+                self.tracer.exit_with(s, counters);
+                let mut cube = cube?;
                 if let Some(breach) = ctx.cube_breach(cube.len()) {
                     let keep = breach.budget as usize;
                     resolve_breach(Some(breach), ctx, &mut profile)?;
@@ -311,11 +462,9 @@ impl<'e> SedaReader<'e> {
         }
         profile.exec_secs = exec_start.elapsed_secs();
         profile.rows = payload.rows();
-        profile.budget_spent = profile.sorted_accesses as u64
-            + profile.random_accesses as u64
-            + profile.tuples_scored as u64
-            + profile.label_probes
-            + profile.rows as u64;
+        profile.settle_budget_spent();
+        self.tracer.exit(exec_span);
+        profile.spans = self.tracer.take_spans();
         Ok(SedaResponse { payload, profile })
     }
 
@@ -357,11 +506,7 @@ impl<'e> SedaReader<'e> {
         profile.absorb(&result.stats);
         resolve_breach(breach, ctx, &mut profile)?;
         profile.rows = result.tuples.len();
-        profile.budget_spent = profile.sorted_accesses as u64
-            + profile.random_accesses as u64
-            + profile.tuples_scored as u64
-            + profile.label_probes
-            + profile.rows as u64;
+        profile.settle_budget_spent();
         Ok((result, profile))
     }
 

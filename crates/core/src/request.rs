@@ -16,9 +16,12 @@
 //! ```
 //!
 //! An `EXPLAIN` prefix plans the request and returns the plan transcript
-//! instead of executing it.  [`SedaRequest::render`] emits the canonical
-//! textual form, and `parse ∘ render` is the identity on parsed requests —
-//! the round-trip the facade's serialisation tests pin.
+//! instead of executing it; `EXPLAIN ANALYZE` additionally *executes* the
+//! request and returns the transcript annotated with each stage's measured
+//! wall time, counter deltas and budget spend (see
+//! [`crate::trace::render_analyzed`]).  [`SedaRequest::render`] emits the
+//! canonical textual form, and `parse ∘ render` is the identity on parsed
+//! requests — the round-trip the facade's serialisation tests pin.
 
 use serde::{Deserialize, Serialize};
 
@@ -122,6 +125,10 @@ pub struct SedaRequest {
     /// Plan the request and return the `explain()` transcript instead of
     /// executing it.
     pub explain: bool,
+    /// With [`SedaRequest::explain`]: execute the request too, and annotate
+    /// the transcript with measured per-stage wall times, counter deltas and
+    /// budget spend (`EXPLAIN ANALYZE`).
+    pub analyze: bool,
 }
 
 impl SedaRequest {
@@ -142,6 +149,10 @@ impl SedaRequest {
         if let Some(tail) = strip_leading_keyword(rest, "EXPLAIN") {
             builder = builder.explain();
             rest = tail;
+            if let Some(tail) = strip_leading_keyword(rest, "ANALYZE") {
+                builder = builder.analyze();
+                rest = tail;
+            }
         }
         if rest.is_empty() {
             return Err(SedaError::Parse(QueryError::Malformed("empty request".to_string())));
@@ -223,7 +234,7 @@ impl SedaRequest {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.explain {
-            out.push_str("EXPLAIN ");
+            out.push_str(if self.analyze { "EXPLAIN ANALYZE " } else { "EXPLAIN " });
         }
         match &self.statement {
             Statement::TopK { k } => out.push_str(&format!("TOPK {k}")),
@@ -271,6 +282,7 @@ pub struct RequestBuilder {
     connections: Vec<Connection>,
     cube_options: BuildOptions,
     explain: bool,
+    analyze: bool,
 }
 
 impl RequestBuilder {
@@ -365,6 +377,15 @@ impl RequestBuilder {
         self
     }
 
+    /// Marks the request as `EXPLAIN ANALYZE`: execute it and return the
+    /// transcript annotated with measured per-stage breakdowns (implies
+    /// [`RequestBuilder::explain`]).
+    pub fn analyze(mut self) -> Self {
+        self.explain = true;
+        self.analyze = true;
+        self
+    }
+
     /// Finalises the request.
     pub fn build(self) -> SedaRequest {
         SedaRequest {
@@ -375,6 +396,7 @@ impl RequestBuilder {
             connections: self.connections,
             cube_options: self.cube_options,
             explain: self.explain,
+            analyze: self.analyze,
         }
     }
 }
@@ -646,7 +668,18 @@ mod tests {
     fn explain_prefix_marks_the_request() {
         let req = SedaRequest::parse("EXPLAIN TOPK 5 FOR (name, *)").unwrap();
         assert!(req.explain);
+        assert!(!req.analyze);
         assert_eq!(req.statement, Statement::TopK { k: 5 });
+    }
+
+    #[test]
+    fn explain_analyze_prefix_marks_both_flags() {
+        let req = SedaRequest::parse("EXPLAIN ANALYZE TOPK 5 FOR (name, *)").unwrap();
+        assert!(req.explain && req.analyze);
+        assert_eq!(req.statement, Statement::TopK { k: 5 });
+        assert_eq!(req.render(), "EXPLAIN ANALYZE TOPK 5 FOR (name, *)");
+        // ANALYZE is only a keyword right after EXPLAIN.
+        assert!(SedaRequest::parse("ANALYZE TOPK 5 FOR (name, *)").is_err());
     }
 
     #[test]
@@ -693,6 +726,8 @@ mod tests {
             "TWIG /country/economy//trade_country",
             "CUBE pct BY country, year AGG avg MEASURE pct FOR (name, *)",
             "EXPLAIN TOPK 3 FOR (name, *)",
+            "EXPLAIN ANALYZE CONTEXTS FOR (name, *)",
+            "EXPLAIN ANALYZE TWIG /country/name",
         ] {
             let parsed = SedaRequest::parse(text).unwrap();
             let rendered = parsed.render();

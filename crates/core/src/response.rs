@@ -12,6 +12,7 @@ use seda_olap::{CubeResult, QueryResultTable, StarSchemaBuild};
 use seda_topk::{SearchStats, TopKResult};
 
 use crate::summaries::{ConnectionSummary, ContextSummary};
+use crate::trace::SpanRecord;
 
 /// Unified work counters and wall time of one request → response trip.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -47,6 +48,10 @@ pub struct ExecProfile {
     /// degraded response: the payload is the exact prefix computed before
     /// the breach, not the full answer.
     pub degraded: bool,
+    /// Per-stage span breakdown of the execution, recorded when the reader's
+    /// [`crate::Tracer`] is enabled (always on for `EXPLAIN ANALYZE`);
+    /// empty otherwise.
+    pub spans: Vec<SpanRecord>,
 }
 
 impl ExecProfile {
@@ -64,6 +69,17 @@ impl ExecProfile {
     /// Total request wall time (plan + execution).
     pub fn total_secs(&self) -> f64 {
         self.plan_secs + self.exec_secs
+    }
+
+    /// Settles [`ExecProfile::budget_spent`] from the final counters (sorted
+    /// plus random accesses, tuples scored, label probes and rows) — the one
+    /// cross-resource formula every governed path shares.
+    pub fn settle_budget_spent(&mut self) {
+        self.budget_spent = self.sorted_accesses as u64
+            + self.random_accesses as u64
+            + self.tuples_scored as u64
+            + self.label_probes
+            + self.rows as u64;
     }
 
     /// Renders the profile as a human-readable line.

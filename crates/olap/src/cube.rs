@@ -84,6 +84,9 @@ pub struct CubeResult {
     pub group_by: Vec<String>,
     /// Aggregated cells, ordered by coordinates.
     pub cells: Vec<CubeCell>,
+    /// Fact rows examined by the aggregation (before filters), the work
+    /// measure of the scan — surfaced so callers can attribute cube cost.
+    pub rows_scanned: usize,
 }
 
 impl CubeResult {
@@ -192,7 +195,7 @@ pub fn aggregate(table: &FactTable, query: &CubeQuery) -> Result<CubeResult, Cub
             CubeCell { coordinates, value, count: acc.count }
         })
         .collect();
-    Ok(CubeResult { group_by: query.group_by.clone(), cells })
+    Ok(CubeResult { group_by: query.group_by.clone(), cells, rows_scanned: table.rows.len() })
 }
 
 /// Computes a rollup along the given dimension order: one [`CubeResult`] per

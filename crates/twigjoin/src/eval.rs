@@ -26,6 +26,10 @@ pub struct TwigMatches {
     /// One row per match: a node per output pattern node, in
     /// `output_nodes` order.
     pub rows: Vec<Vec<NodeId>>,
+    /// Document nodes scanned while building the pattern nodes' input
+    /// streams — the dominant work measure of the evaluation, surfaced so
+    /// callers can attribute twig cost without re-walking the collection.
+    pub nodes_visited: usize,
 }
 
 impl TwigMatches {
@@ -60,10 +64,12 @@ fn build_stream(
     document: &Document,
     pattern: &TwigPattern,
     pattern_node: usize,
+    nodes_visited: &mut usize,
 ) -> Vec<StreamElement> {
     let node = pattern.node(pattern_node);
     let mut out = Vec::new();
     for (ordinal, data_node) in document.iter() {
+        *nodes_visited += 1;
         if collection.symbols().resolve(data_node.name) != node.label {
             continue;
         }
@@ -204,7 +210,8 @@ fn expand_solutions(
 /// Evaluates a twig pattern over an entire collection.
 pub fn evaluate_twig(collection: &Collection, pattern: &TwigPattern) -> TwigMatches {
     let output_nodes = pattern.output_nodes();
-    let mut matches = TwigMatches { output_nodes: output_nodes.clone(), rows: Vec::new() };
+    let mut matches =
+        TwigMatches { output_nodes: output_nodes.clone(), rows: Vec::new(), nodes_visited: 0 };
     if pattern.is_empty() || output_nodes.is_empty() {
         return matches;
     }
@@ -215,7 +222,7 @@ pub fn evaluate_twig(collection: &Collection, pattern: &TwigPattern) -> TwigMatc
         let mut streams: HashMap<usize, Vec<StreamElement>> = HashMap::new();
         let mut missing = false;
         for q in pattern.node_indices() {
-            let stream = build_stream(collection, document, pattern, q);
+            let stream = build_stream(collection, document, pattern, q, &mut matches.nodes_visited);
             if stream.is_empty() {
                 missing = true;
                 break;

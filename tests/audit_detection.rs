@@ -9,6 +9,7 @@
 //! `SedaEngine::substrates_mut()`, proving the engine-level aggregation
 //! attributes violations to the right substrate.
 
+use seda_core::metrics::names;
 use seda_core::{EngineConfig, SedaEngine};
 use seda_datagen::Dataset;
 use seda_dataguide::GuideId;
@@ -148,6 +149,47 @@ fn reassigned_document_is_detected_as_dataguide_assignment() {
         guides.corrupt_reassign_document(DocId(0), GuideId(999));
     }
     expect_violation(&e, "dataguide", "assignment");
+}
+
+#[test]
+fn histogram_bucket_drift_is_detected_as_metrics_histogram_buckets() {
+    let mut e = engine();
+    {
+        // Record a real latency so the corrupted histogram is non-empty.
+        let mut reader = e.reader();
+        reader.execute_text("TOPK 5 FOR (name, *)").unwrap();
+    }
+    let histogram = e
+        .metrics_mut()
+        .corrupt_histogram(names::REQUEST_LATENCY_SECONDS, "TOPK")
+        .expect("registered histogram");
+    assert!(histogram.count() > 0, "the TOPK request must have recorded a latency");
+    histogram.corrupt_bucket(0, 3);
+    expect_violation(&e, "metrics", "histogram-buckets");
+}
+
+#[test]
+fn swapped_histogram_bounds_are_detected_as_metrics_histogram_buckets() {
+    let mut e = engine();
+    e.metrics_mut()
+        .corrupt_histogram(names::REQUEST_LATENCY_SECONDS, "TWIG")
+        .expect("registered histogram")
+        .corrupt_swap_bounds(3, 200);
+    expect_violation(&e, "metrics", "histogram-buckets");
+}
+
+#[test]
+fn inverted_histogram_minmax_is_detected_as_metrics_histogram_minmax() {
+    let mut e = engine();
+    {
+        let mut reader = e.reader();
+        reader.execute_text("TOPK 5 FOR (name, *)").unwrap();
+    }
+    e.metrics_mut()
+        .corrupt_histogram(names::REQUEST_LATENCY_SECONDS, "TOPK")
+        .expect("registered histogram")
+        .corrupt_minmax();
+    expect_violation(&e, "metrics", "histogram-minmax");
 }
 
 #[test]

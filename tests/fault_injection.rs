@@ -12,6 +12,7 @@ use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 use seda_core::faults::{arm, disarm_all, FaultAction, FAULT_SITES};
+use seda_core::metrics::names;
 use seda_core::{
     Budget, ContextSelections, EngineConfig, RequestContext, SedaEngine, SedaError, SedaQuery,
     SedaRequest,
@@ -206,6 +207,40 @@ fn armed_faults_never_yield_a_verified_engine_that_answers_wrong() {
     assert!(baseline_engine.verify().is_ok(), "engine must pass its audit after a contained fault");
     let recovered = baseline_engine.top_k(&query, &ContextSelections::none(), 5);
     assert_eq!(recovered.tuples, baseline.tuples, "post-fault answers must match the baseline");
+}
+
+#[test]
+fn explain_analyze_survives_a_contained_mid_search_panic() {
+    let _guard = serialise();
+    let engine = engine_with_parallelism(1).expect("engine build");
+    let mut reader = engine.reader();
+    let request = SedaRequest::parse(
+        r#"EXPLAIN ANALYZE TOPK 5 FOR (*, "United States") AND (trade_country, *)"#,
+    )
+    .expect("analyze request parses");
+    let panics_before = engine.metrics().counter(names::PANICS_CONTAINED_TOTAL, "").get();
+
+    // The forced-tracing request unwinds mid-search; the panic must be
+    // contained, and neither the forced tracing nor any half-open span may
+    // leak into the reader's steady state.
+    arm("mid-search", FaultAction::Panic);
+    let err = reader.execute(&request).expect_err("armed mid-search must fail the request");
+    assert!(matches!(err, SedaError::Internal(_)), "{err:?}");
+    disarm_all();
+    assert!(!reader.tracing_enabled(), "forced tracing must be restored after a failure");
+    assert_eq!(
+        engine.metrics().counter(names::PANICS_CONTAINED_TOTAL, "").get(),
+        panics_before + 1,
+        "the contained panic must be counted as a first-class metric"
+    );
+
+    // The same reader renders a complete annotated transcript next time —
+    // exactly one [plan] span proves the failed request's trace was discarded.
+    let response = reader.execute(&request).expect("reader recovered");
+    let transcript = response.explain_transcript().expect("explain payload");
+    assert!(transcript.contains("analyze:"), "{transcript}");
+    assert!(transcript.contains("[search]"), "{transcript}");
+    assert_eq!(transcript.matches("[plan]").count(), 1, "{transcript}");
 }
 
 #[test]
