@@ -294,7 +294,7 @@ impl TopKWorkload {
         for &k in &[1usize, 10, 100] {
             let request = SedaRequest::parse(&format!("TOPK {k} FOR {}", self.query_text))
                 .expect("workload request parses");
-            let plan = self.engine.plan(&request).expect("workload request plans");
+            let plan = self.engine.prepare(&request).expect("workload request plans");
             let (response, stats) =
                 measure_reps(|| reader.execute_plan(&plan).expect("workload executes"));
             let result = response.top_k().expect("TOPK response carries a result").clone();
@@ -489,6 +489,10 @@ pub struct PipelineMeasurement {
     pub workload: &'static str,
     /// Statement verb of the request (`TOPK`, `CONTEXTS`, …).
     pub statement: String,
+    /// `"cold"` (parse + plan + execute per rep) or `"prepared"` (planned
+    /// once via `SedaReader::prepare`; every timed rep is a warm
+    /// re-execution of the compiled program).
+    pub mode: &'static str,
     /// Canonical textual form of the request.
     pub request: String,
     /// Rows in the response payload.
@@ -520,13 +524,15 @@ impl PipelineMeasurement {
     /// newline).
     pub fn to_json(&self, indent: &str) -> String {
         format!(
-            "{indent}{{\"workload\": {:?}, \"statement\": {:?}, \"request\": {:?}, \
+            "{indent}{{\"workload\": {:?}, \"statement\": {:?}, \"mode\": {:?}, \
+             \"request\": {:?}, \
              \"rows\": {}, \"wall_ms\": {:.3}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
              \"p99_ms\": {:.3}, \"reps\": {}, \"plan_ms\": {:.3}, \
              \"sorted_accesses\": {}, \"random_accesses\": {}, \"label_probes\": {}, \
              \"budget_spent\": {}, \"degraded\": {}}}",
             self.workload,
             self.statement,
+            self.mode,
             self.request,
             self.rows,
             self.wall_ms,
@@ -549,11 +555,21 @@ impl PipelineMeasurement {
 /// reader handle (`wall_ms` is the best rep; the quantile columns summarise
 /// all reps).
 ///
-/// The `CONNECTIONS` statement derives its summary from a top-k result, so
-/// its row reuses the tuples of the measured `TOPK` run instead of re-running
-/// the search: the row reports the *incremental* cost of connection discovery
-/// (planning plus the pairwise oracle walk).  Its search counters are zero by
-/// construction — that work is already accounted to the `TOPK` row.
+/// Each statement is measured in two modes.  The `"cold"` rows parse, plan
+/// and execute per rep — what a one-shot request observes.  The `"prepared"`
+/// rows plan once through [`seda_core::SedaReader::prepare`] and re-execute
+/// the compiled program per rep with warm materialized term lists and a warm
+/// compactness memo — the steady state of a repeated statement.  Cold rows
+/// are emitted first, so first-match consumers of the report (`perf_smoke`)
+/// keep reading the cold baseline.
+///
+/// The cold `CONNECTIONS` statement derives its summary from a top-k result,
+/// so its row reuses the tuples of the measured `TOPK` run instead of
+/// re-running the search: the row reports the *incremental* cost of
+/// connection discovery (planning plus the pairwise oracle walk).  Its search
+/// counters are zero by construction — that work is already accounted to the
+/// `TOPK` row.  The prepared `CONNECTIONS` row runs the full compiled program
+/// (search included), so the two are not directly comparable.
 pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
     let engine = &workload.engine;
     let mut reader = engine.reader();
@@ -564,6 +580,7 @@ pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
         let row = PipelineMeasurement {
             workload: workload.name,
             statement: request.statement.name().to_string(),
+            mode: "cold",
             request: request.render(),
             rows: response.profile.rows,
             wall_ms: stats.best_ms,
@@ -586,12 +603,13 @@ pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
     let connections_request = parse(format!("CONNECTIONS 10 FOR {}", workload.query_text));
     let top_k = topk_response.top_k().expect("TOPK response carries a result").clone();
     let (_, plan_stats) =
-        measure_reps(|| engine.plan(&connections_request).expect("pipeline request plans"));
+        measure_reps(|| engine.prepare(&connections_request).expect("pipeline request plans"));
     let (summary, discover_stats) = measure_reps(|| engine.connection_summary(&top_k));
     let stats = plan_stats.plus(&discover_stats);
     out.push(PipelineMeasurement {
         workload: workload.name,
         statement: connections_request.statement.name().to_string(),
+        mode: "cold",
         request: connections_request.render(),
         rows: summary.len(),
         wall_ms: stats.best_ms,
@@ -615,6 +633,40 @@ pub fn measure_pipeline(workload: &TopKWorkload) -> Vec<PipelineMeasurement> {
             ))
             .1,
         );
+    }
+
+    // Prepared rows: the same statements planned once and re-executed per
+    // rep (the first, untimed `measure_reps` warm-up fills the compactness
+    // memo, so every timed rep measures the warm steady state).
+    let mut prepared_requests = vec![
+        parse(format!("TOPK 10 FOR {}", workload.query_text)),
+        parse(format!("CONTEXTS FOR {}", workload.query_text)),
+        parse(format!("CONNECTIONS 10 FOR {}", workload.query_text)),
+    ];
+    if workload.name == "factbook" {
+        prepared_requests.push(query1_request(engine, "RESULTS"));
+        prepared_requests
+            .push(query1_request(engine, "CUBE import-trade-percentage BY import-country AGG sum"));
+    }
+    for request in &prepared_requests {
+        let mut prepared = reader.prepare(request).expect("pipeline request prepares");
+        let (response, stats): (SedaResponse, RepStats) =
+            measure_reps(|| prepared.execute(&mut reader).expect("prepared request executes"));
+        out.push(PipelineMeasurement {
+            workload: workload.name,
+            statement: request.statement.name().to_string(),
+            mode: "prepared",
+            request: request.render(),
+            rows: response.profile.rows,
+            wall_ms: stats.best_ms,
+            stats,
+            plan_ms: response.profile.plan_secs * 1e3,
+            sorted_accesses: response.profile.sorted_accesses,
+            random_accesses: response.profile.random_accesses,
+            label_probes: response.profile.label_probes,
+            budget_spent: response.profile.budget_spent,
+            degraded: response.profile.degraded,
+        });
     }
     out
 }
@@ -683,6 +735,27 @@ mod tests {
         assert_eq!(sequential.documents, parallel.documents);
         let rendered = render_build_comparison(&sequential, &parallel);
         assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
+    fn pipeline_rows_carry_the_execution_mode() {
+        let stats = RepStats { best_ms: 0.1, p50_ms: 0.1, p95_ms: 0.1, p99_ms: 0.1, reps: 3 };
+        let row = PipelineMeasurement {
+            workload: "w",
+            statement: "TOPK".to_string(),
+            mode: "prepared",
+            request: "r".to_string(),
+            rows: 1,
+            wall_ms: 0.1,
+            stats,
+            plan_ms: 0.0,
+            sorted_accesses: 0,
+            random_accesses: 0,
+            label_probes: 0,
+            budget_spent: 0,
+            degraded: false,
+        };
+        assert!(row.to_json("").contains("\"mode\": \"prepared\""));
     }
 
     #[test]

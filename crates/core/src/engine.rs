@@ -24,8 +24,8 @@ use seda_dataguide::{
 };
 use seda_olap::{BuildOptions, QueryResultTable, Registry, StarSchemaBuild, StarSchemaBuilder};
 use seda_textindex::{ContextIndex, CountStorage, FullTextQuery, NodeIndex};
-use seda_topk::{LimitBreach, SearchLimits, SearchScratch};
-use seda_topk::{TermInput, TopKConfig, TopKResult, TopKSearcher};
+use seda_topk::{LimitBreach, MaterializedTerms, SearchLimits, SearchScratch, SearchStrategy};
+use seda_topk::{TermInput, TopKConfig, TopKResult, TopKSearcher, TupleScoreCache};
 use seda_twigjoin::{evaluate_twig, Axis, TwigPattern};
 use seda_xmlstore::{parse_collection, Collection, DocId, NodeId, PathId};
 
@@ -744,6 +744,39 @@ impl SedaEngine {
         let (result, breach) = searcher.search_governed(terms, &config, limits, scratch);
         let profile = QueryProfile { stats: result.stats.clone(), wall_secs: start.elapsed_secs() };
         (result, profile, breach)
+    }
+
+    /// Runs a compiled [`crate::PlanOp::Search`] op: the searcher under the
+    /// plan's tuned [`TopKConfig`] and access [`SearchStrategy`], over either
+    /// fresh posting lists or a prepared statement's materialized term lists,
+    /// with an optional compactness memo shared across executions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn search_compiled(
+        &self,
+        terms: &[TermInput],
+        config: &TopKConfig,
+        limits: &SearchLimits,
+        scratch: &mut SearchScratch,
+        materialized: Option<&MaterializedTerms>,
+        cache: Option<&mut TupleScoreCache>,
+        strategy: SearchStrategy,
+    ) -> (TopKResult, QueryProfile, Option<LimitBreach>) {
+        let start = Stopwatch::start();
+        faults::fire_unchecked("mid-search");
+        let searcher = TopKSearcher::new(&self.collection, &self.node_index, &self.graph);
+        let (result, breach) = match materialized {
+            Some(lists) => searcher
+                .search_materialized_governed(lists, config, limits, scratch, cache, strategy),
+            None => searcher.search_governed_with(terms, config, limits, scratch, cache, strategy),
+        };
+        let profile = QueryProfile { stats: result.stats.clone(), wall_secs: start.elapsed_secs() };
+        (result, profile, breach)
+    }
+
+    /// Resolves term inputs into reusable sorted posting lists for a
+    /// [`crate::PreparedStatement`] (sorted access without the join).
+    pub(crate) fn materialize_search_terms(&self, terms: &[TermInput]) -> MaterializedTerms {
+        TopKSearcher::new(&self.collection, &self.node_index, &self.graph).materialize_terms(terms)
     }
 
     /// Computes the context summary of a query (Sec. 5): one bucket per term

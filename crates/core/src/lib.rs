@@ -64,8 +64,10 @@ pub mod error;
 pub mod faults;
 pub mod govern;
 pub mod metrics;
+pub mod optimize;
 pub mod parallel;
 pub mod plan;
+pub mod prepared;
 pub mod query;
 pub mod reader;
 pub mod request;
@@ -79,8 +81,10 @@ pub use engine::{BuildProfile, EngineConfig, PhaseProfile, QueryProfile, SedaEng
 pub use error::SedaError;
 pub use govern::{Budget, CancelToken, RequestContext, Stopwatch};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use optimize::{EmitShape, PlanOp, PlanProgram};
 pub use parallel::WorkerPanic;
 pub use plan::{PlanStep, QueryPlan};
+pub use prepared::PreparedStatement;
 pub use query::{ContextSpec, QueryError, QueryTerm, SedaQuery};
 pub use reader::SedaReader;
 pub use request::{RequestBuilder, SedaRequest, Statement};

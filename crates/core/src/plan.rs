@@ -1,24 +1,30 @@
 //! Query planning: [`SedaRequest`] → [`QueryPlan`].
 //!
-//! The planner validates a request against an engine (term indices exist,
-//! path strings resolve, twig paths compile, limits hold), resolves every
-//! context selection down to [`PathId`]s and [`TermInput`]s, and records the
-//! execution steps the engine will take.  [`QueryPlan::explain`] renders the
-//! transcript; [`crate::SedaReader::execute`] runs the plan.
+//! Planning is a three-stage compile.  The **lowering** stage validates a
+//! request against an engine (term indices exist, path strings resolve, twig
+//! paths compile, limits hold), resolves every context selection down to
+//! [`PathId`]s and [`TermInput`]s, and records the execution steps — the
+//! typed logical plan.  [`SedaEngine::prepare`] then runs the registered
+//! **rewrite passes** of [`crate::optimize`] over it and **compiles** the
+//! optimized plan into the [`PlanProgram`] instruction stream the reader's
+//! interpreter executes.  [`QueryPlan::explain`] renders the transcript —
+//! steps, pass-by-pass rewrite trail and program listing.
 
 use seda_dataguide::Connection;
 use seda_olap::BuildOptions;
-use seda_topk::TermInput;
+use seda_topk::{SearchStrategy, TermInput, TopKConfig};
 use seda_twigjoin::TwigPattern;
 use seda_xmlstore::PathId;
 
 use crate::engine::SedaEngine;
 use crate::error::SedaError;
+use crate::optimize::{self, PlanProgram};
 use crate::query::SedaQuery;
 use crate::request::{SedaRequest, Statement};
 use crate::summaries::ContextSelections;
 
 /// One step of a [`QueryPlan`], in execution order.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanStep {
     /// Resolve the allowed contexts of one query term.
@@ -37,6 +43,12 @@ pub enum PlanStep {
         k: usize,
         /// Candidate-tuple bound of the join loop.
         candidate_limit: usize,
+    },
+    /// Degenerate one-term search rewritten by the optimizer's
+    /// single-keyword pass: a direct scan of the sorted posting prefix.
+    SingleTermScan {
+        /// Number of result tuples requested.
+        k: usize,
     },
     /// Build the per-term context buckets from the keyword→path index.
     ContextBuckets {
@@ -92,6 +104,9 @@ impl std::fmt::Display for PlanStep {
             PlanStep::ThresholdJoin { k, candidate_limit } => {
                 write!(f, "threshold-algorithm rank join: k={k}, candidate limit {candidate_limit}")
             }
+            PlanStep::SingleTermScan { k } => {
+                write!(f, "single-term sorted-prefix scan: k={k}")
+            }
             PlanStep::ContextBuckets { terms } => {
                 write!(f, "context buckets from the keyword→path index for {terms} term(s)")
             }
@@ -123,7 +138,12 @@ impl std::fmt::Display for PlanStep {
     }
 }
 
-/// A validated, fully resolved execution plan for one [`SedaRequest`].
+/// A validated, fully resolved and optimized execution plan for one
+/// [`SedaRequest`]: the typed logical plan the lowering produced (statement,
+/// resolved term inputs, step list, search configuration), the rewrite trail
+/// the optimizer's passes left behind, and the compiled [`PlanProgram`] the
+/// reader interprets.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
     pub(crate) statement: Statement,
@@ -137,7 +157,19 @@ pub struct QueryPlan {
     /// Compiled twig pattern of a [`Statement::Twig`] request.
     pub(crate) pattern: Option<TwigPattern>,
     pub(crate) cube_options: BuildOptions,
-    steps: Vec<PlanStep>,
+    pub(crate) steps: Vec<PlanStep>,
+    /// Per-plan search configuration; rewrite passes tune it (k is folded in
+    /// at lowering, the component-prune pass may clear `prune_components`).
+    pub(crate) topk: TopKConfig,
+    /// Search strategy the single-keyword pass may rewrite.
+    pub(crate) strategy: SearchStrategy,
+    /// Per-term `(restricted, total)` postings estimates the pushdown pass
+    /// computes and the cost model consumes.
+    pub(crate) term_estimates: Vec<(usize, usize)>,
+    /// Pass-by-pass rewrite trail, one line per registered pass.
+    pub(crate) trail: Vec<String>,
+    /// The compiled instruction stream.
+    pub(crate) program: PlanProgram,
 }
 
 impl QueryPlan {
@@ -151,8 +183,26 @@ impl QueryPlan {
         &self.steps
     }
 
-    /// Renders the plan transcript: the statement header followed by the
-    /// numbered execution steps.
+    /// The compiled instruction stream the reader's interpreter executes.
+    pub fn program(&self) -> &PlanProgram {
+        &self.program
+    }
+
+    /// The pass-by-pass rewrite trail: one `"<pass>: <what changed>"` line
+    /// per registered optimizer pass (`"<pass>: unchanged"` when a pass did
+    /// not apply).
+    pub fn rewrite_trail(&self) -> &[String] {
+        &self.trail
+    }
+
+    /// The search configuration this plan executes with, after optimization.
+    pub fn search_config(&self) -> &TopKConfig {
+        &self.topk
+    }
+
+    /// Renders the plan transcript: the statement header, the numbered
+    /// execution steps, the optimizer's rewrite trail and the compiled
+    /// program listing.
     pub fn explain(&self) -> String {
         let mut out = format!("plan: {}", self.statement.name());
         match &self.query {
@@ -161,6 +211,16 @@ impl QueryPlan {
         }
         for (i, step) in self.steps.iter().enumerate() {
             out.push_str(&format!("  {}. {step}\n", i + 1));
+        }
+        if !self.trail.is_empty() {
+            out.push_str("  rewrites:\n");
+            for line in &self.trail {
+                out.push_str(&format!("    - {line}\n"));
+            }
+        }
+        if !self.program.is_empty() {
+            out.push_str("  program:\n");
+            out.push_str(&self.program.render());
         }
         out
     }
@@ -175,14 +235,39 @@ impl SedaEngine {
             .ok_or_else(|| SedaError::UnknownPath(path.to_string()))
     }
 
-    /// Compiles and validates a request into a [`QueryPlan`].
+    /// Compiles, validates and optimizes a request into a [`QueryPlan`]:
+    /// lowering (validation + context resolution), the registered rewrite
+    /// passes of [`crate::optimize`], and compilation into the
+    /// [`PlanProgram`] the reader interprets.
     ///
-    /// Planning is read-only and touches no scratch state, so it is safe
+    /// This is the one canonical compile path; [`SedaEngine::plan`] and
+    /// [`crate::SedaReader::plan`] are thin deprecated shims over it, and
+    /// [`crate::SedaReader::prepare`] wraps its output into a reusable
+    /// [`crate::PreparedStatement`].
+    ///
+    /// Preparing is read-only and touches no scratch state, so it is safe
     /// from any thread.  Errors cover the whole [`SedaError`] taxonomy:
     /// missing query terms, out-of-range term selections, unresolvable
     /// paths, uncompilable twig expressions, and combination counts beyond
     /// the configured limits.
+    pub fn prepare(&self, request: &SedaRequest) -> Result<QueryPlan, SedaError> {
+        let mut plan = self.lower(request)?;
+        plan.trail = optimize::run_passes(&mut plan, self);
+        plan.program = optimize::compile(&plan);
+        Ok(plan)
+    }
+
+    /// Deprecated alias of [`SedaEngine::prepare`], the canonical compile
+    /// path.
+    #[deprecated(since = "0.1.0", note = "use SedaEngine::prepare")]
     pub fn plan(&self, request: &SedaRequest) -> Result<QueryPlan, SedaError> {
+        self.prepare(request)
+    }
+
+    /// The lowering stage: validates the request and produces the typed
+    /// logical plan (resolved inputs + step list) that the rewrite passes
+    /// transform.
+    fn lower(&self, request: &SedaRequest) -> Result<QueryPlan, SedaError> {
         let mut steps = Vec::new();
         let statement = request.statement.clone();
 
@@ -216,6 +301,11 @@ impl SedaEngine {
                 pattern: Some(pattern),
                 cube_options: request.cube_options.clone(),
                 steps,
+                topk: self.config().topk.clone(),
+                strategy: SearchStrategy::default(),
+                term_estimates: Vec::new(),
+                trail: Vec::new(),
+                program: PlanProgram::default(),
             });
         }
 
@@ -314,6 +404,10 @@ impl SedaEngine {
             }
         }
 
+        let mut topk = config.topk.clone();
+        if let Statement::TopK { k } | Statement::ConnectionSummary { k } = &statement {
+            topk.k = *k;
+        }
         Ok(QueryPlan {
             statement,
             query: Some(query),
@@ -323,6 +417,11 @@ impl SedaEngine {
             pattern: None,
             cube_options: request.cube_options.clone(),
             steps,
+            topk,
+            strategy: SearchStrategy::default(),
+            term_estimates: Vec::new(),
+            trail: Vec::new(),
+            program: PlanProgram::default(),
         })
     }
 }
@@ -353,7 +452,7 @@ mod tests {
         let req =
             SedaRequest::parse("TOPK 5 FOR (name, *) AND (percentage, *) WITH 0 IN /country/name")
                 .unwrap();
-        let plan = e.plan(&req).unwrap();
+        let plan = e.prepare(&req).unwrap();
         assert_eq!(plan.term_inputs.len(), 2);
         assert_eq!(plan.term_inputs[0].allowed_paths.as_ref().map(Vec::len), Some(1));
         let transcript = plan.explain();
@@ -366,30 +465,30 @@ mod tests {
     fn planning_validates_terms_paths_and_twigs() {
         let e = engine();
         let req = SedaRequest::parse("TOPK FOR (name, *) WITH 7 IN /country/name").unwrap();
-        assert_eq!(e.plan(&req).unwrap_err(), SedaError::UnknownTerm { term: 7, terms: 1 });
+        assert_eq!(e.prepare(&req).unwrap_err(), SedaError::UnknownTerm { term: 7, terms: 1 });
 
         let req = SedaRequest::parse("TOPK FOR (name, *) WITH 0 IN /no/such/path").unwrap();
-        assert_eq!(e.plan(&req).unwrap_err(), SedaError::UnknownPath("/no/such/path".into()));
+        assert_eq!(e.prepare(&req).unwrap_err(), SedaError::UnknownPath("/no/such/path".into()));
 
         let req = SedaRequest::builder().contexts().build();
-        assert_eq!(e.plan(&req).unwrap_err(), SedaError::MissingQuery { statement: "CONTEXTS" });
+        assert_eq!(e.prepare(&req).unwrap_err(), SedaError::MissingQuery { statement: "CONTEXTS" });
 
         let req = SedaRequest::parse("TWIG /nowhere/name").unwrap();
-        let err = e.plan(&req).unwrap_err();
+        let err = e.prepare(&req).unwrap_err();
         assert!(
             matches!(&err, SedaError::UnknownPath(p) if p.contains("unknown tag \"nowhere\"")),
             "{err}"
         );
         // Unknown labels deeper in the path are caught too, naming the step.
         let req = SedaRequest::parse("TWIG /country/nonexistent_tag").unwrap();
-        let err = e.plan(&req).unwrap_err();
+        let err = e.prepare(&req).unwrap_err();
         assert!(
             matches!(&err, SedaError::UnknownPath(p) if p.contains("nonexistent_tag")),
             "{err}"
         );
 
         let req = SedaRequest::builder().twig("not-a-path").build();
-        assert!(matches!(e.plan(&req).unwrap_err(), SedaError::Twig(_)));
+        assert!(matches!(e.prepare(&req).unwrap_err(), SedaError::Twig(_)));
     }
 
     #[test]
@@ -400,7 +499,7 @@ mod tests {
              (*, \"United States\") AND (trade_country, *) AND (percentage, *)",
         )
         .unwrap();
-        let plan = e.plan(&req).unwrap();
+        let plan = e.prepare(&req).unwrap();
         let transcript = plan.explain();
         assert!(transcript.contains("enumerate"), "{transcript}");
         assert!(transcript.contains("derive and instantiate the star schema"), "{transcript}");

@@ -1,0 +1,251 @@
+//! Prepared statements: plan once, execute many.
+//!
+//! [`SedaReader::prepare`](crate::SedaReader::prepare) compiles a
+//! [`SedaRequest`](crate::SedaRequest) through the full optimizer pipeline
+//! and wraps the result in a [`PreparedStatement`] that additionally owns
+//! the per-statement reusable state a single execution would rebuild from
+//! scratch: the materialized sorted posting lists of the search terms and a
+//! compactness memo shared across executions.  Re-executing a prepared
+//! statement skips parsing, validation, the rewrite passes, sorted access
+//! resolution and — after the first run — most connectivity label probes,
+//! while returning byte-identical payloads to a fresh
+//! [`execute`](crate::SedaReader::execute).
+//!
+//! ```
+//! use seda_core::{EngineConfig, SedaEngine, SedaRequest};
+//! use seda_olap::Registry;
+//! use seda_xmlstore::parse_collection;
+//!
+//! let collection = parse_collection(vec![("us.xml",
+//!     r#"<country><name>United States</name><year>2006</year></country>"#)]).unwrap();
+//! let engine = SedaEngine::build(collection, Registry::new(), EngineConfig::default()).unwrap();
+//! let mut reader = engine.reader();
+//! let request = SedaRequest::parse(r#"TOPK 5 FOR (name, "United States")"#).unwrap();
+//! let mut prepared = reader.prepare(&request).unwrap();
+//! for _ in 0..3 {
+//!     let response = prepared.execute(&mut reader).unwrap();
+//!     assert_eq!(response.top_k().unwrap().tuples.len(), 1);
+//! }
+//! assert_eq!(prepared.executions(), 3);
+//! ```
+
+use seda_topk::{MaterializedTerms, SearchStrategy, TupleScoreCache};
+
+use crate::error::SedaError;
+use crate::govern::RequestContext;
+use crate::optimize;
+use crate::plan::{PlanStep, QueryPlan};
+use crate::reader::SedaReader;
+use crate::request::Statement;
+use crate::response::SedaResponse;
+
+/// A compiled, reusable statement: the optimized [`QueryPlan`] plus the
+/// cross-execution scratch (materialized term lists, compactness memo) that
+/// makes repeated execution cheap.
+///
+/// Prepared statements are engine-scoped but reader-agnostic: prepare once,
+/// then execute through any reader of the same engine.
+pub struct PreparedStatement {
+    pub(crate) plan: QueryPlan,
+    /// Sorted posting lists of the plan's search terms, resolved once at
+    /// prepare time (`None` for statements without a search phase).
+    pub(crate) materialized: Option<MaterializedTerms>,
+    /// Compactness memo shared across executions of this statement.
+    pub(crate) cache: TupleScoreCache,
+    pub(crate) executions: u64,
+}
+
+impl PreparedStatement {
+    /// The optimized plan this statement executes.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The plan transcript (steps, rewrite trail, compiled program).
+    pub fn explain(&self) -> String {
+        self.plan.explain()
+    }
+
+    /// How many times this statement has executed successfully.
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Number of memoized compactness entries accumulated so far.
+    pub fn cached_scores(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Re-parameterizes `k` without replanning, for the statement shapes
+    /// that carry one (`TOPK k`, `CONNECTIONS k`).  The plan shape is
+    /// unaffected — only the result bound changes — so the materialized
+    /// term lists and the compactness memo stay valid.  Returns `false`
+    /// (and changes nothing) for statements without a `k` parameter.
+    pub fn set_k(&mut self, k: usize) -> bool {
+        match &mut self.plan.statement {
+            Statement::TopK { k: slot } | Statement::ConnectionSummary { k: slot } => *slot = k,
+            _ => return false,
+        }
+        self.plan.topk.k = k;
+        // The single-keyword rewrite is k-sensitive (the sorted-prefix scan
+        // is exact only while the candidate bound covers k); re-derive it.
+        let scan = self.plan.term_inputs.len() == 1 && self.plan.topk.candidate_limit >= k;
+        self.plan.strategy =
+            if scan { SearchStrategy::SingleTermScan } else { SearchStrategy::Join };
+        let candidate_limit = self.plan.topk.candidate_limit;
+        for step in &mut self.plan.steps {
+            if matches!(step, PlanStep::ThresholdJoin { .. } | PlanStep::SingleTermScan { .. }) {
+                *step = if scan {
+                    PlanStep::SingleTermScan { k }
+                } else {
+                    PlanStep::ThresholdJoin { k, candidate_limit }
+                };
+            }
+        }
+        self.plan.trail.push(format!("set-k: re-parameterized to k={k}"));
+        self.plan.program = optimize::compile(&self.plan);
+        true
+    }
+
+    /// Executes this statement through a reader of the same engine
+    /// (ungoverned; see [`PreparedStatement::execute_governed`]).
+    pub fn execute(&mut self, reader: &mut SedaReader<'_>) -> Result<SedaResponse, SedaError> {
+        reader.execute_prepared(self)
+    }
+
+    /// Executes this statement under a per-request [`RequestContext`].
+    pub fn execute_governed(
+        &mut self,
+        reader: &mut SedaReader<'_>,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
+        reader.execute_prepared_governed(self, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{EngineConfig, SedaEngine};
+    use crate::request::SedaRequest;
+    use seda_olap::Registry;
+    use seda_xmlstore::parse_collection;
+
+    /// Warm-cache executions legitimately skip connectivity label probes,
+    /// so payload comparisons zero that one counter; everything else —
+    /// tuples, scores, every other counter — must match byte for byte.
+    fn normalized(mut payload: crate::ResponsePayload) -> crate::ResponsePayload {
+        match &mut payload {
+            crate::ResponsePayload::TopK(result) => result.stats.label_probes = 0,
+            crate::ResponsePayload::Connections { top_k, .. } => top_k.stats.label_probes = 0,
+            _ => {}
+        }
+        payload
+    }
+
+    fn engine() -> SedaEngine {
+        let collection = parse_collection(vec![
+            (
+                "us.xml",
+                r#"<country><name>United States</name><year>2006</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>15</percentage></item>
+                       <item><trade_country>Canada</trade_country><percentage>16.9</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+            (
+                "mx.xml",
+                r#"<country><name>Mexico</name><year>2006</year>
+                     <economy><import_partners>
+                       <item><trade_country>China</trade_country><percentage>9</percentage></item>
+                     </import_partners></economy></country>"#,
+            ),
+        ])
+        .unwrap();
+        SedaEngine::build(collection, Registry::factbook_defaults(), EngineConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn prepared_execution_matches_fresh_execution() {
+        let e = engine();
+        let mut reader = e.reader();
+        let texts = [
+            "TOPK 5 FOR (trade_country, *) AND (percentage, *)",
+            "CONTEXTS FOR (trade_country, *)",
+            "CONNECTIONS 5 FOR (trade_country, *) AND (percentage, *)",
+            "RESULTS FOR (trade_country, *) AND (percentage, *)",
+            "TWIG /country/economy//trade_country",
+        ];
+        for text in texts {
+            let request = SedaRequest::parse(text).unwrap();
+            let fresh = reader.execute(&request).unwrap();
+            let mut prepared = reader.prepare(&request).unwrap();
+            for _ in 0..3 {
+                let reused = prepared.execute(&mut reader).unwrap();
+                assert_eq!(normalized(reused.payload), normalized(fresh.payload.clone()), "{text}");
+            }
+            assert_eq!(prepared.executions(), 3, "{text}");
+        }
+    }
+
+    #[test]
+    fn set_k_reparameterizes_without_replanning() {
+        let e = engine();
+        let mut reader = e.reader();
+        let mut prepared = reader
+            .prepare(
+                &SedaRequest::parse("TOPK 1 FOR (trade_country, *) AND (percentage, *)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(prepared.execute(&mut reader).unwrap().top_k().unwrap().tuples.len(), 1);
+        assert!(prepared.set_k(3));
+        let widened = prepared.execute(&mut reader).unwrap();
+        let fresh = reader
+            .execute(
+                &SedaRequest::parse("TOPK 3 FOR (trade_country, *) AND (percentage, *)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(normalized(widened.payload), normalized(fresh.payload));
+        assert!(prepared.explain().contains("set-k: re-parameterized to k=3"));
+        // Statements without a k parameter refuse the re-parameterization.
+        let mut twig = reader.prepare(&SedaRequest::parse("TWIG /country/name").unwrap()).unwrap();
+        assert!(!twig.set_k(3));
+    }
+
+    #[test]
+    fn set_k_reverts_the_scan_when_the_candidate_bound_no_longer_covers_k() {
+        let collection = parse_collection(vec![(
+            "us.xml",
+            r#"<country><name>United States</name><year>2006</year></country>"#,
+        )])
+        .unwrap();
+        let config = EngineConfig {
+            topk: seda_topk::TopKConfig { candidate_limit: 2, ..Default::default() },
+            ..EngineConfig::default()
+        };
+        let e = SedaEngine::build(collection, Registry::new(), config).unwrap();
+        let mut reader = e.reader();
+        let mut prepared =
+            reader.prepare(&SedaRequest::parse("TOPK 1 FOR (name, *)").unwrap()).unwrap();
+        assert!(prepared.explain().contains("single-term sorted-prefix scan"));
+        assert!(prepared.set_k(5));
+        // k=5 exceeds the candidate bound of 2: the scan is no longer exact.
+        assert!(prepared.explain().contains("threshold-algorithm rank join: k=5"));
+        let fresh = reader.execute(&SedaRequest::parse("TOPK 5 FOR (name, *)").unwrap()).unwrap();
+        assert_eq!(prepared.execute(&mut reader).unwrap().payload, fresh.payload);
+    }
+
+    #[test]
+    fn the_compactness_memo_fills_on_the_first_execution() {
+        let e = engine();
+        let mut reader = e.reader();
+        let mut prepared = reader
+            .prepare(
+                &SedaRequest::parse("TOPK 5 FOR (trade_country, *) AND (percentage, *)").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(prepared.cached_scores(), 0);
+        prepared.execute(&mut reader).unwrap();
+        assert!(prepared.cached_scores() > 0);
+    }
+}

@@ -21,15 +21,17 @@
 //! assert_eq!(response.top_k().unwrap().tuples.len(), 1);
 //! ```
 
-use seda_olap::{aggregate, CubeQuery};
-use seda_topk::{LimitBreach, SearchScratch, TopKResult};
+use seda_olap::{aggregate, CubeQuery, CubeResult, QueryResultTable, StarSchemaBuild};
+use seda_topk::{LimitBreach, MaterializedTerms, SearchScratch, TopKResult, TupleScoreCache};
 
 use crate::engine::{catch_internal, SedaEngine};
 use crate::error::SedaError;
 use crate::govern::{RequestContext, Stopwatch};
 use crate::metrics::names;
+use crate::optimize::{EmitShape, PlanOp};
 use crate::parallel::{effective_parallelism, parallel_map_with};
 use crate::plan::QueryPlan;
+use crate::prepared::PreparedStatement;
 use crate::query::SedaQuery;
 use crate::request::{SedaRequest, Statement};
 use crate::response::{ExecProfile, ResponsePayload, SedaResponse};
@@ -82,6 +84,20 @@ fn truncate_payload(payload: &mut ResponsePayload, keep: usize) {
         ResponsePayload::Cube { cube, .. } => cube.cells.truncate(keep),
         ResponsePayload::Explain(_) => {}
     }
+}
+
+/// Cross-execution state a [`PreparedStatement`] lends to the interpreter
+/// for one execution: the materialized term lists (skipping sorted-access
+/// resolution) and the compactness memo (skipping repeated label probes).
+struct PreparedState<'p> {
+    materialized: Option<&'p MaterializedTerms>,
+    cache: &'p mut TupleScoreCache,
+}
+
+/// A compiled program referenced a register no prior instruction filled —
+/// a compiler bug, surfaced as a contained internal error.
+fn empty_register(op: &'static str, register: &'static str) -> SedaError {
+    SedaError::Internal(format!("program invariant: {op} needs the {register} register"))
 }
 
 /// A per-thread query handle owning its own scratch buffers.
@@ -137,15 +153,30 @@ impl<'e> SedaReader<'e> {
         self.engine
     }
 
-    /// Plans a request without executing it (delegates to
-    /// [`SedaEngine::plan`]).
+    /// Deprecated alias of [`SedaEngine::prepare`]; use
+    /// [`SedaReader::prepare`] for a reusable statement or
+    /// [`SedaEngine::prepare`] for the bare plan.
+    #[deprecated(since = "0.1.0", note = "use SedaReader::prepare or SedaEngine::prepare")]
     pub fn plan(&self, request: &SedaRequest) -> Result<QueryPlan, SedaError> {
-        self.engine.plan(request)
+        self.engine.prepare(request)
+    }
+
+    /// Compiles a request into a reusable [`PreparedStatement`]: the fully
+    /// optimized plan plus the cross-execution state (materialized sorted
+    /// posting lists, compactness memo) that makes repeated execution cheap.
+    ///
+    /// Preparing touches no reader scratch, and the returned statement may
+    /// execute through *any* reader of this engine.
+    pub fn prepare(&self, request: &SedaRequest) -> Result<PreparedStatement, SedaError> {
+        let plan = self.engine.prepare(request)?;
+        let materialized = (!plan.term_inputs.is_empty())
+            .then(|| self.engine.materialize_search_terms(&plan.term_inputs));
+        Ok(PreparedStatement { plan, materialized, cache: TupleScoreCache::new(), executions: 0 })
     }
 
     /// Plans a request and returns the plan transcript.
     pub fn explain(&self, request: &SedaRequest) -> Result<String, SedaError> {
-        Ok(self.engine.plan(request)?.explain())
+        Ok(self.engine.prepare(request)?.explain())
     }
 
     /// Turns span tracing on or off for every subsequent request this reader
@@ -219,7 +250,7 @@ impl<'e> SedaReader<'e> {
         self.tracer.begin_if_idle();
         let plan_span = self.tracer.enter(span::PLAN);
         let plan_start = Stopwatch::start();
-        let plan = match self.engine.plan(request) {
+        let plan = match self.engine.prepare(request) {
             Ok(plan) => plan,
             Err(err) => {
                 self.tracer.exit(plan_span);
@@ -316,6 +347,268 @@ impl<'e> SedaReader<'e> {
     }
 
     fn execute_plan_inner(
+        &mut self,
+        plan: &QueryPlan,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
+        self.execute_program(plan, ctx, None)
+    }
+
+    /// Executes a [`PreparedStatement`] through this reader's scratch
+    /// (ungoverned; see [`SedaReader::execute_prepared_governed`]).
+    pub fn execute_prepared(
+        &mut self,
+        statement: &mut PreparedStatement,
+    ) -> Result<SedaResponse, SedaError> {
+        self.execute_prepared_governed(statement, &RequestContext::unlimited())
+    }
+
+    /// [`SedaReader::execute_prepared`] under a per-request
+    /// [`RequestContext`]: the interpreter runs over the statement's
+    /// materialized term lists and compactness memo instead of rebuilding
+    /// them, with the same panic-containment and governance semantics as
+    /// [`SedaReader::execute_plan_governed`].
+    pub fn execute_prepared_governed(
+        &mut self,
+        statement: &mut PreparedStatement,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
+        let PreparedStatement { plan, materialized, cache, executions } = statement;
+        let state = PreparedState { materialized: materialized.as_ref(), cache };
+        let outcome = catch_internal(|| self.execute_program(plan, ctx, Some(state)));
+        if matches!(outcome, Err(SedaError::Internal(_))) {
+            self.scratch = SearchScratch::new();
+        }
+        if outcome.is_err() {
+            self.tracer.reset();
+        } else {
+            *executions += 1;
+        }
+        outcome
+    }
+
+    /// The [`crate::PlanProgram`] interpreter: runs the compiled instruction
+    /// stream over a small register file (top-k, contexts, connections,
+    /// table, schema build, cube), with the same span names, governance
+    /// sites and truncation semantics as the fixed-sequence executor it
+    /// replaced ([`SedaReader::execute_plan_unoptimized`], kept as the
+    /// equivalence oracle).
+    fn execute_program(
+        &mut self,
+        plan: &QueryPlan,
+        ctx: &RequestContext,
+        mut prepared: Option<PreparedState<'_>>,
+    ) -> Result<SedaResponse, SedaError> {
+        self.tracer.begin_if_idle();
+        let exec_span = self.tracer.enter(span::EXECUTE);
+        let exec_start = Stopwatch::start();
+        let mut profile = ExecProfile::default();
+        ctx.check_cancelled()?;
+        let limits = ctx.search_limits();
+        let mut top_k: Option<TopKResult> = None;
+        let mut contexts: Option<ContextSummary> = None;
+        let mut connections: Option<ConnectionSummary> = None;
+        let mut table: Option<QueryResultTable> = None;
+        let mut build: Option<StarSchemaBuild> = None;
+        let mut cube: Option<CubeResult> = None;
+        let mut payload: Option<ResponsePayload> = None;
+        for op in plan.program().ops() {
+            match op {
+                PlanOp::Search { k, strategy } => {
+                    let s = self.tracer.enter(span::SEARCH);
+                    let before = profile.clone();
+                    let mut config = plan.search_config().clone();
+                    config.k = *k;
+                    let (result, _, breach) = match prepared.as_mut() {
+                        Some(state) => self.engine.search_compiled(
+                            &plan.term_inputs,
+                            &config,
+                            &limits,
+                            &mut self.scratch,
+                            state.materialized,
+                            Some(state.cache),
+                            *strategy,
+                        ),
+                        None => self.engine.search_compiled(
+                            &plan.term_inputs,
+                            &config,
+                            &limits,
+                            &mut self.scratch,
+                            None,
+                            None,
+                            *strategy,
+                        ),
+                    };
+                    profile.absorb(&result.stats);
+                    let mut counters = SpanCounters::delta(&before, &profile);
+                    counters.rows = result.tuples.len();
+                    self.tracer.exit_with(s, counters);
+                    resolve_breach(breach, ctx, &mut profile)?;
+                    top_k = Some(result);
+                }
+                PlanOp::ContextBuckets => {
+                    let query = plan
+                        .query
+                        .as_ref()
+                        .expect("invariant: the planner attaches a query to this statement shape");
+                    let s = self.tracer.enter(span::CONTEXT_SUMMARY);
+                    let summary = self.engine.context_summary(query);
+                    let counters =
+                        SpanCounters { rows: summary.total_contexts(), ..SpanCounters::default() };
+                    self.tracer.exit_with(s, counters);
+                    resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
+                    contexts = Some(summary);
+                }
+                PlanOp::DiscoverConnections => {
+                    ctx.check_cancelled()?;
+                    let top = top_k
+                        .as_ref()
+                        .ok_or_else(|| empty_register("discover-connections", "top-k"))?;
+                    let s = self.tracer.enter(span::DISCOVER_CONNECTIONS);
+                    let summary = self.engine.connection_summary(top);
+                    let counters = SpanCounters { rows: summary.len(), ..SpanCounters::default() };
+                    self.tracer.exit_with(s, counters);
+                    resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
+                    connections = Some(summary);
+                }
+                PlanOp::CompleteResults => {
+                    let query = plan
+                        .query
+                        .as_ref()
+                        .expect("invariant: the planner attaches a query to this statement shape");
+                    let s = self.tracer.enter(span::COMPLETE_RESULTS);
+                    let (rows, breach) = self.engine.complete_results_governed(
+                        query,
+                        &plan.selections,
+                        &plan.connections,
+                        &mut self.scratch,
+                        ctx,
+                    )?;
+                    let counters = SpanCounters { rows: rows.len(), ..SpanCounters::default() };
+                    self.tracer.exit_with(s, counters);
+                    resolve_breach(breach, ctx, &mut profile)?;
+                    table = Some(rows);
+                }
+                PlanOp::TwigEvaluate => {
+                    let pattern = plan
+                        .pattern
+                        .as_ref()
+                        .expect("invariant: the planner compiles twig statements to a pattern");
+                    let s = self.tracer.enter(span::TWIG_EVALUATE);
+                    let (mut rows, nodes_visited) = self.engine.twig_table(pattern);
+                    let counters =
+                        SpanCounters { nodes_visited, rows: rows.len(), ..SpanCounters::default() };
+                    self.tracer.exit_with(s, counters);
+                    if let Some(breach) = ctx.twig_breach(rows.len()) {
+                        let keep = breach.budget as usize;
+                        resolve_breach(Some(breach), ctx, &mut profile)?;
+                        rows.rows.truncate(keep);
+                    }
+                    resolve_breach(ctx.deadline_breach(), ctx, &mut profile)?;
+                    table = Some(rows);
+                }
+                PlanOp::DeriveStarSchema => {
+                    ctx.check_cancelled()?;
+                    let rows = table
+                        .as_ref()
+                        .ok_or_else(|| empty_register("derive-star-schema", "table"))?;
+                    let s = self.tracer.enter(span::DERIVE_STAR_SCHEMA);
+                    let derived = self.engine.build_star_schema(rows, &plan.cube_options);
+                    self.tracer.exit(s);
+                    build = Some(derived);
+                }
+                PlanOp::Aggregate => {
+                    let Statement::Cube { fact, group_by, agg, measure } = &plan.statement else {
+                        return Err(SedaError::Internal(
+                            "program invariant: aggregate outside a CUBE statement".to_string(),
+                        ));
+                    };
+                    let derived =
+                        build.as_ref().ok_or_else(|| empty_register("aggregate", "schema"))?;
+                    let fact_table = derived
+                        .schema
+                        .fact(fact)
+                        .ok_or_else(|| SedaError::UnknownFact(fact.clone()))?;
+                    let measure = measure.clone().unwrap_or_else(|| fact.clone());
+                    let group_refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+                    let cube_query = CubeQuery::sum(&group_refs, &measure).with_agg(*agg);
+                    let s = self.tracer.enter(span::AGGREGATE);
+                    let result = aggregate(fact_table, &cube_query);
+                    let counters = SpanCounters {
+                        rows: result.as_ref().map(|c| c.rows_scanned).unwrap_or(0),
+                        ..SpanCounters::default()
+                    };
+                    self.tracer.exit_with(s, counters);
+                    let mut result = result?;
+                    if let Some(breach) = ctx.cube_breach(result.len()) {
+                        let keep = breach.budget as usize;
+                        resolve_breach(Some(breach), ctx, &mut profile)?;
+                        result.cells.truncate(keep);
+                    }
+                    cube = Some(result);
+                }
+                PlanOp::Emit(shape) => {
+                    payload = Some(match shape {
+                        EmitShape::TopK => ResponsePayload::TopK(
+                            top_k.take().ok_or_else(|| empty_register("emit", "top-k"))?,
+                        ),
+                        EmitShape::Contexts => ResponsePayload::Contexts(
+                            contexts.take().ok_or_else(|| empty_register("emit", "contexts"))?,
+                        ),
+                        EmitShape::Connections => ResponsePayload::Connections {
+                            top_k: top_k.take().ok_or_else(|| empty_register("emit", "top-k"))?,
+                            summary: connections
+                                .take()
+                                .ok_or_else(|| empty_register("emit", "connections"))?,
+                        },
+                        EmitShape::Table => ResponsePayload::Table(
+                            table.take().ok_or_else(|| empty_register("emit", "table"))?,
+                        ),
+                        EmitShape::Cube => ResponsePayload::Cube {
+                            build: build.take().ok_or_else(|| empty_register("emit", "schema"))?,
+                            cube: cube.take().ok_or_else(|| empty_register("emit", "cube"))?,
+                        },
+                    });
+                }
+            }
+        }
+        let mut payload = payload.ok_or_else(|| {
+            SedaError::Internal("program invariant: no emit instruction ran".to_string())
+        })?;
+        if let Some(breach) = ctx.row_breach(payload.rows()) {
+            let keep = breach.budget as usize;
+            resolve_breach(Some(breach), ctx, &mut profile)?;
+            truncate_payload(&mut payload, keep);
+        }
+        profile.exec_secs = exec_start.elapsed_secs();
+        profile.rows = payload.rows();
+        profile.settle_budget_spent();
+        self.tracer.exit(exec_span);
+        profile.spans = self.tracer.take_spans();
+        Ok(SedaResponse { payload, profile })
+    }
+
+    /// The pre-optimizer fixed-sequence executor, kept verbatim as the
+    /// equivalence oracle: the `optimizer_equivalence` suite pins the
+    /// interpreter's payloads and work counters against it, statement shape
+    /// by statement shape.  Not part of the supported API.
+    #[doc(hidden)]
+    pub fn execute_plan_unoptimized(
+        &mut self,
+        plan: &QueryPlan,
+        ctx: &RequestContext,
+    ) -> Result<SedaResponse, SedaError> {
+        let outcome = catch_internal(|| self.execute_fixed_inner(plan, ctx));
+        if matches!(outcome, Err(SedaError::Internal(_))) {
+            self.scratch = SearchScratch::new();
+        }
+        if outcome.is_err() {
+            self.tracer.reset();
+        }
+        outcome
+    }
+
+    fn execute_fixed_inner(
         &mut self,
         plan: &QueryPlan,
         ctx: &RequestContext,
@@ -654,6 +947,13 @@ mod tests {
         let response = reader.execute_text("EXPLAIN TOPK 5 FOR (name, *)").unwrap();
         let transcript = response.explain_transcript().unwrap();
         assert!(transcript.contains("plan: TOPK"), "{transcript}");
+        // The optimizer's single-keyword pass rewrites the one-term join
+        // into a scan; the transcript shows the rewrite trail and program.
+        assert!(transcript.contains("single-term sorted-prefix scan"), "{transcript}");
+        assert!(transcript.contains("rewrites:"), "{transcript}");
+        assert!(transcript.contains("program:"), "{transcript}");
+        let response = reader.execute_text("EXPLAIN TOPK 5 FOR (name, *) AND (year, *)").unwrap();
+        let transcript = response.explain_transcript().unwrap();
         assert!(transcript.contains("threshold-algorithm rank join"), "{transcript}");
     }
 

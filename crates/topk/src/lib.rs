@@ -31,7 +31,8 @@ pub mod types;
 
 pub use searcher::{SearchScratch, TopKSearcher};
 pub use types::{
-    LimitBreach, ResultTuple, SearchLimits, SearchStats, TermInput, TopKConfig, TopKResult,
+    LimitBreach, MaterializedTerms, ResultTuple, SearchLimits, SearchStats, SearchStrategy,
+    TermInput, TopKConfig, TopKResult, TupleScoreCache,
 };
 
 #[cfg(test)]

@@ -39,7 +39,8 @@ use seda_textindex::{NodeIndex, ScoredNode};
 use seda_xmlstore::{Collection, NodeId};
 
 use crate::types::{
-    LimitBreach, ResultTuple, SearchLimits, SearchStats, TermInput, TopKConfig, TopKResult,
+    LimitBreach, MaterializedTerms, ResultTuple, SearchLimits, SearchStats, SearchStrategy,
+    TermInput, TopKConfig, TopKResult, TupleScoreCache,
 };
 
 /// Reusable buffers of the top-k search: posting lists, the flat candidate
@@ -204,12 +205,192 @@ impl<'a> TopKSearcher<'a> {
         limits: &SearchLimits,
         scratch: &mut SearchScratch,
     ) -> (TopKResult, Option<LimitBreach>) {
-        let mut stats = SearchStats::default();
+        self.search_governed_with(terms, config, limits, scratch, None, SearchStrategy::Join)
+    }
+
+    /// [`TopKSearcher::search_governed`] with the optimizer's knobs: an
+    /// optional compactness memo and the compiled [`SearchStrategy`].  The
+    /// strategy only short-circuits when it reproduces the join loop exactly
+    /// (one term, candidate limit ≥ k), so results and stats always match
+    /// the plain governed search.
+    pub fn search_governed_with(
+        &self,
+        terms: &[TermInput],
+        config: &TopKConfig,
+        limits: &SearchLimits,
+        scratch: &mut SearchScratch,
+        cache: Option<&mut TupleScoreCache>,
+        strategy: SearchStrategy,
+    ) -> (TopKResult, Option<LimitBreach>) {
         if terms.is_empty() || config.k == 0 {
+            return (TopKResult { tuples: Vec::new(), stats: SearchStats::default() }, None);
+        }
+        self.fill_term_lists(terms, scratch);
+        if strategy == SearchStrategy::SingleTermScan
+            && terms.len() == 1
+            && config.candidate_limit >= config.k
+        {
+            return self.scan_single_term(config, limits, scratch);
+        }
+        self.search_filled(terms.len(), config, limits, scratch, cache)
+    }
+
+    /// Materialises the per-term sorted-access lists once, for reuse across
+    /// executions of a prepared statement.
+    ///
+    /// The returned lists are exactly what [`TopKSearcher::search_governed`]
+    /// would fill into its scratch, so
+    /// [`TopKSearcher::search_materialized_governed`] over them is equivalent
+    /// to a fresh search over the same terms.
+    pub fn materialize_terms(&self, terms: &[TermInput]) -> MaterializedTerms {
+        let mut candidates = Vec::new();
+        let mut lists = Vec::with_capacity(terms.len());
+        for term in terms {
+            let mut list = Vec::new();
+            self.index.evaluate_into(
+                &term.query,
+                term.allowed_paths.as_deref(),
+                &mut candidates,
+                &mut list,
+            );
+            lists.push(list);
+        }
+        MaterializedTerms::from_lists(lists)
+    }
+
+    /// Runs the governed search over pre-materialised term lists, optionally
+    /// memoising compactness scores in `cache` and short-circuiting through
+    /// `strategy`.
+    ///
+    /// The lists are copied into the scratch buffers (reusing their capacity)
+    /// and the identical join loop runs over them, so results are equal to
+    /// [`TopKSearcher::search_governed`] over the terms the lists were
+    /// materialised from.  With [`SearchStrategy::SingleTermScan`] and exactly
+    /// one list, the degenerate single-term case is answered by a direct scan
+    /// of the sorted prefix (same tuples, same termination behaviour, no join
+    /// machinery).
+    pub fn search_materialized_governed(
+        &self,
+        materialized: &MaterializedTerms,
+        config: &TopKConfig,
+        limits: &SearchLimits,
+        scratch: &mut SearchScratch,
+        cache: Option<&mut TupleScoreCache>,
+        strategy: SearchStrategy,
+    ) -> (TopKResult, Option<LimitBreach>) {
+        let m = materialized.lists.len();
+        if m == 0 || config.k == 0 {
+            return (TopKResult { tuples: Vec::new(), stats: SearchStats::default() }, None);
+        }
+        while scratch.lists.len() < m {
+            scratch.lists.push(Vec::new());
+        }
+        for (src, dst) in materialized.lists.iter().zip(scratch.lists.iter_mut()) {
+            dst.clone_from(src);
+        }
+        if strategy == SearchStrategy::SingleTermScan
+            && m == 1
+            && config.candidate_limit >= config.k
+        {
+            return self.scan_single_term(config, limits, scratch);
+        }
+        self.search_filled(m, config, limits, scratch, cache)
+    }
+
+    /// Degenerate single-term search: with one list the Threshold Algorithm
+    /// consumes exactly `min(k, len)` sorted accesses (after the k-th access
+    /// the threshold equals the k-th buffered score), every singleton tuple
+    /// is maximally compact (`1.0`, zero oracle probes) and no joins happen.
+    /// This scan reproduces that behaviour — tuples, stats and breach
+    /// semantics — without the join machinery.
+    fn scan_single_term(
+        &self,
+        config: &TopKConfig,
+        limits: &SearchLimits,
+        scratch: &mut SearchScratch,
+    ) -> (TopKResult, Option<LimitBreach>) {
+        let mut stats = SearchStats::default();
+        let list = &scratch.lists[0];
+        if list.is_empty() {
             return (TopKResult { tuples: Vec::new(), stats }, None);
         }
+        let mut breach: Option<LimitBreach> = None;
+        let mut tuples: Vec<ResultTuple> = Vec::with_capacity(config.k.min(list.len()));
+        for entry in list.iter().take(config.k) {
+            if let Some(deadline) = limits.deadline {
+                if std::time::Instant::now() >= deadline {
+                    breach = Some(LimitBreach { resource: "deadline", spent: 0, budget: 0 });
+                    break;
+                }
+            }
+            if let Some(cancel) = &limits.cancel {
+                if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                    breach = Some(LimitBreach { resource: "cancelled", spent: 0, budget: 0 });
+                    break;
+                }
+            }
+            if let Some(max) = limits.max_sorted_accesses {
+                if stats.sorted_accesses >= max {
+                    breach = Some(LimitBreach {
+                        resource: "sorted accesses",
+                        spent: stats.sorted_accesses as u64,
+                        budget: max as u64,
+                    });
+                    break;
+                }
+            }
+            stats.sorted_accesses += 1;
+            // The join loop checks the tuple ceiling after the sorted access
+            // that produced the candidate; mirror that order so breach stats
+            // line up with the general path.
+            if let Some(max) = limits.max_tuples_scored {
+                if stats.tuples_scored >= max {
+                    breach = Some(LimitBreach {
+                        resource: "candidate tuples",
+                        spent: stats.tuples_scored as u64,
+                        budget: max as u64,
+                    });
+                    break;
+                }
+            }
+            stats.tuples_scored += 1;
+            let score = config.content_weight * entry.score + config.structure_weight * 1.0;
+            tuples.push(ResultTuple {
+                nodes: vec![entry.node],
+                content_score: entry.score,
+                compactness: 1.0,
+                score,
+            });
+        }
+        if breach.is_none() && list.len() >= config.k {
+            // The TA loop flags early termination once the k-th buffered
+            // score meets the threshold, which for one list happens on the
+            // k-th sorted access — including when the list is exactly k long.
+            stats.early_terminated = true;
+        }
+        tuples.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.nodes.cmp(&b.nodes))
+        });
+        tuples.dedup_by(|a, b| a.nodes == b.nodes);
+        (TopKResult { tuples, stats }, breach)
+    }
 
-        self.fill_term_lists(terms, scratch);
+    /// The Threshold-Algorithm join loop over `scratch.lists[..m]`, already
+    /// filled by the caller.  `cache`, when given, memoises compactness
+    /// scores across executions (the connecting-tree size of a node tuple
+    /// depends only on the immutable graph and `max_depth`).
+    fn search_filled(
+        &self,
+        m: usize,
+        config: &TopKConfig,
+        limits: &SearchLimits,
+        scratch: &mut SearchScratch,
+        mut cache: Option<&mut TupleScoreCache>,
+    ) -> (TopKResult, Option<LimitBreach>) {
+        let mut stats = SearchStats::default();
         let SearchScratch {
             traversal,
             lists,
@@ -230,14 +411,13 @@ impl<'a> TopKSearcher<'a> {
             traversal.probe_ceiling =
                 Some((label_probes_before + traversal.bfs_visits).saturating_add(max));
         }
-        let lists = &lists[..terms.len()];
+        let lists = &lists[..m];
         if lists.iter().any(Vec::is_empty) {
             // Some term has no match at all: the result is empty (Definition 4
             // requires every term to be satisfied).
             traversal.probe_ceiling = None;
             return (TopKResult { tuples: Vec::new(), stats }, None);
         }
-        let m = lists.len();
         best_scores.clear();
         best_scores.extend(lists.iter().map(|l| l[0].score));
         positions.clear();
@@ -306,7 +486,12 @@ impl<'a> TopKSearcher<'a> {
                                 // Component pruning: a tuple spanning two
                                 // disconnected document components can never
                                 // be connected, so skip it before the BFS.
-                                if !self.graph.same_component(candidate.node, new_node.node) {
+                                // The optimizer clears the flag on
+                                // single-component graphs, where the check
+                                // always passes.
+                                if config.prune_components
+                                    && !self.graph.same_component(candidate.node, new_node.node)
+                                {
                                     continue;
                                 }
                                 stats.random_accesses += 1;
@@ -353,8 +538,24 @@ impl<'a> TopKSearcher<'a> {
                         }
                         let nodes = &combo_nodes[c * m..(c + 1) * m];
                         stats.tuples_scored += 1;
-                        let compact =
-                            compactness_with(self.graph, traversal, nodes, config.max_depth);
+                        let compact = match cache.as_deref_mut() {
+                            Some(memo) => match memo.lookup(config.max_depth, nodes) {
+                                Some(hit) => hit,
+                                None => {
+                                    let fresh = compactness_with(
+                                        self.graph,
+                                        traversal,
+                                        nodes,
+                                        config.max_depth,
+                                    );
+                                    memo.store(config.max_depth, nodes, fresh);
+                                    fresh
+                                }
+                            },
+                            None => {
+                                compactness_with(self.graph, traversal, nodes, config.max_depth)
+                            }
+                        };
                         if compact == 0.0 && m > 1 {
                             stats.tuples_disconnected += 1;
                         } else {
@@ -489,9 +690,11 @@ impl<'a> TopKSearcher<'a> {
             'combos: for (c, &content) in combo_scores.iter().enumerate() {
                 let run = &combo_nodes[c * stride..(c + 1) * stride];
                 for (ci, candidate) in list.iter().enumerate() {
-                    if let Some(&first) = run.first() {
-                        if !self.graph.same_component(first, candidate.node) {
-                            continue;
+                    if config.prune_components {
+                        if let Some(&first) = run.first() {
+                            if !self.graph.same_component(first, candidate.node) {
+                                continue;
+                            }
                         }
                     }
                     next_nodes.extend_from_slice(run);
@@ -863,6 +1066,118 @@ mod tests {
             searcher.search_governed(&terms, &config, &limits, &mut SearchScratch::new());
         assert!(breach.is_none());
         assert_eq!(governed.tuples, searcher.search(&terms, &config).tuples);
+    }
+
+    #[test]
+    fn materialized_search_matches_fresh_search() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let config = TopKConfig::with_k(5);
+        let limits = SearchLimits::unlimited();
+        let materialized = searcher.materialize_terms(&terms);
+        assert_eq!(materialized.term_count(), terms.len());
+        let mut scratch = SearchScratch::new();
+        let (fresh, _) = searcher.search_governed(&terms, &config, &limits, &mut scratch);
+        let (replayed, breach) = searcher.search_materialized_governed(
+            &materialized,
+            &config,
+            &limits,
+            &mut scratch,
+            None,
+            SearchStrategy::Join,
+        );
+        assert!(breach.is_none());
+        assert_eq!(fresh.tuples, replayed.tuples);
+        assert_eq!(fresh.stats, replayed.stats);
+    }
+
+    #[test]
+    fn warm_cache_reproduces_cold_tuples_with_fewer_probes() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let config = TopKConfig::with_k(5);
+        let limits = SearchLimits::unlimited();
+        let materialized = searcher.materialize_terms(&terms);
+        let mut scratch = SearchScratch::new();
+        let mut cache = TupleScoreCache::new();
+        let (cold, _) = searcher.search_materialized_governed(
+            &materialized,
+            &config,
+            &limits,
+            &mut scratch,
+            Some(&mut cache),
+            SearchStrategy::Join,
+        );
+        assert!(cold.stats.label_probes > 0);
+        assert!(cache.misses() > 0 && cache.hits() == 0);
+        let (warm, _) = searcher.search_materialized_governed(
+            &materialized,
+            &config,
+            &limits,
+            &mut scratch,
+            Some(&mut cache),
+            SearchStrategy::Join,
+        );
+        assert_eq!(cold.tuples, warm.tuples, "memoisation must not change the answer");
+        assert!(cache.hits() > 0);
+        assert!(
+            warm.stats.label_probes < cold.stats.label_probes,
+            "warm runs answer compactness from the memo: {} vs {}",
+            warm.stats.label_probes,
+            cold.stats.label_probes
+        );
+    }
+
+    #[test]
+    fn single_term_scan_matches_the_join_loop_exactly() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        // "United States" matches 2 nodes; exercise k below, at and above the
+        // list length to pin tuples, stats and the early-termination flag.
+        let terms = vec![TermInput::new(FullTextQuery::phrase("United States"))];
+        let materialized = searcher.materialize_terms(&terms);
+        let limits = SearchLimits::unlimited();
+        let mut scratch = SearchScratch::new();
+        for k in [1usize, 2, 10] {
+            let config = TopKConfig::with_k(k);
+            let (join, _) = searcher.search_governed(&terms, &config, &limits, &mut scratch);
+            let (scan, breach) = searcher.search_materialized_governed(
+                &materialized,
+                &config,
+                &limits,
+                &mut scratch,
+                None,
+                SearchStrategy::SingleTermScan,
+            );
+            assert!(breach.is_none());
+            assert_eq!(join.tuples, scan.tuples, "k={k}");
+            assert_eq!(join.stats, scan.stats, "k={k}");
+        }
+    }
+
+    #[test]
+    fn disabling_component_pruning_on_one_component_changes_nothing() {
+        let c = factbook_fragment();
+        let (index, graph) = searcher_parts(&c);
+        let searcher = TopKSearcher::new(&c, &index, &graph);
+        let terms = query1_terms(&c);
+        let pruned = searcher.search(&terms, &TopKConfig::with_k(5));
+        let mut unpruned_config = TopKConfig::with_k(5);
+        unpruned_config.prune_components = false;
+        let unpruned = searcher.search(&terms, &unpruned_config);
+        if graph.doc_component_count() == 1 {
+            assert_eq!(pruned, unpruned);
+        } else {
+            // Cross-component tuples are scored but stay disconnected: same
+            // tuples, more work.
+            assert_eq!(pruned.tuples, unpruned.tuples);
+            assert!(unpruned.stats.tuples_scored >= pruned.stats.tuples_scored);
+        }
     }
 
     #[test]

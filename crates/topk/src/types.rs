@@ -1,8 +1,10 @@
 //! Shared types of the top-k search unit.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
-use seda_textindex::FullTextQuery;
+use seda_textindex::{FullTextQuery, ScoredNode};
 use seda_xmlstore::{NodeId, PathId};
 
 /// One search input per query term: the full-text expression plus an optional
@@ -49,6 +51,13 @@ pub struct TopKConfig {
     /// point; the number of dropped combinations is reported in
     /// [`SearchStats::candidates_truncated`] rather than lost silently.
     pub candidate_limit: usize,
+    /// When true (the default), candidate pairs spanning two disconnected
+    /// document components are skipped before the connectivity BFS.  The
+    /// optimizer clears this on graphs with a single component, where the
+    /// check always passes: results and stats are identical either way (the
+    /// random-access counter is bumped after the check), the per-pair
+    /// component lookups just disappear.
+    pub prune_components: bool,
 }
 
 impl Default for TopKConfig {
@@ -59,6 +68,7 @@ impl Default for TopKConfig {
             content_weight: 1.0,
             structure_weight: 1.0,
             candidate_limit: 200_000,
+            prune_components: true,
         }
     }
 }
@@ -186,6 +196,124 @@ impl TopKResult {
     }
 }
 
+/// How the compiled plan drives the top-k search.
+///
+/// Chosen by the plan optimizer at prepare time; the default is the general
+/// Threshold-Algorithm rank join.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// The Threshold-Algorithm rank join over all term lists (general case).
+    #[default]
+    Join,
+    /// Single-keyword shortcut: one term degenerates to ranked retrieval — a
+    /// direct scan of the sorted posting prefix with no join machinery.  Only
+    /// applied when it reproduces the join's tuples, stats and termination
+    /// behaviour exactly (one term, candidate limit ≥ k).
+    SingleTermScan,
+}
+
+/// Per-term sorted-access lists materialised once at prepare time, so a
+/// prepared statement's re-executions skip full-text evaluation entirely.
+///
+/// The lists are exactly what a fresh search would compute for the same
+/// [`TermInput`]s: searching over them is equivalent to searching the terms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaterializedTerms {
+    pub(crate) lists: Vec<Vec<ScoredNode>>,
+}
+
+impl MaterializedTerms {
+    /// Number of materialised term lists.
+    pub fn term_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Posting-list length of term `i` (sorted-access upper bound).
+    pub fn list_len(&self, i: usize) -> usize {
+        self.lists.get(i).map(Vec::len).unwrap_or(0)
+    }
+
+    pub(crate) fn from_lists(lists: Vec<Vec<ScoredNode>>) -> Self {
+        MaterializedTerms { lists }
+    }
+}
+
+/// Memoised compactness scores of candidate node tuples.
+///
+/// The connecting-tree size of a node tuple depends only on the immutable
+/// data graph and the search depth, so a prepared statement can carry one
+/// cache across executions: warm runs answer the dominant cost of the join
+/// loop — connectivity-oracle label probes — from the memo instead of
+/// re-intersecting labels.  Warm-run [`SearchStats::label_probes`] therefore
+/// legitimately drop below the cold run's.
+#[derive(Debug, Clone, Default)]
+pub struct TupleScoreCache {
+    map: HashMap<Vec<NodeId>, f64>,
+    /// Depth the memoised scores were computed at; a different depth
+    /// invalidates the whole cache.
+    max_depth: Option<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TupleScoreCache {
+    /// Entry ceiling: beyond this the cache stops absorbing new tuples (reads
+    /// keep working), bounding memory on adversarial workloads.
+    const MAX_ENTRIES: usize = 1 << 20;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TupleScoreCache::default()
+    }
+
+    /// Number of memoised tuples.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups answered from the memo so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to a fresh BFS so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Memoised compactness of `nodes` at `max_depth`, if present.
+    pub fn lookup(&mut self, max_depth: usize, nodes: &[NodeId]) -> Option<f64> {
+        self.reset_on_depth_change(max_depth);
+        let hit = self.map.get(nodes).copied();
+        match hit {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        hit
+    }
+
+    /// Memoises the compactness of `nodes` at `max_depth` (no-op at the entry
+    /// ceiling).
+    pub fn store(&mut self, max_depth: usize, nodes: &[NodeId], compactness: f64) {
+        self.reset_on_depth_change(max_depth);
+        if self.map.len() < Self::MAX_ENTRIES {
+            self.map.insert(nodes.to_vec(), compactness);
+        }
+    }
+
+    fn reset_on_depth_change(&mut self, max_depth: usize) {
+        if self.max_depth != Some(max_depth) {
+            self.map.clear();
+            self.max_depth = Some(max_depth);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,7 +324,32 @@ mod tests {
         assert_eq!(c.k, 10);
         assert!(c.max_depth > 0);
         assert!(c.content_weight > 0.0 && c.structure_weight > 0.0);
+        assert!(c.prune_components, "component pruning is on unless the optimizer clears it");
         assert_eq!(TopKConfig::with_k(3).k, 3);
+    }
+
+    #[test]
+    fn tuple_score_cache_memoises_per_depth() {
+        let mut cache = TupleScoreCache::new();
+        let nodes = vec![NodeId::new(seda_xmlstore::DocId(0), 1)];
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(12, &nodes), None);
+        cache.store(12, &nodes, 0.5);
+        assert_eq!(cache.lookup(12, &nodes), Some(0.5));
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different depth invalidates the memo.
+        assert_eq!(cache.lookup(3, &nodes), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn materialized_terms_report_list_shapes() {
+        let m = MaterializedTerms::from_lists(vec![vec![], vec![]]);
+        assert_eq!(m.term_count(), 2);
+        assert_eq!(m.list_len(0), 0);
+        assert_eq!(m.list_len(7), 0, "out-of-range terms read as empty");
+        assert_eq!(SearchStrategy::default(), SearchStrategy::Join);
     }
 
     #[test]

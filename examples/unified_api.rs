@@ -1,7 +1,9 @@
 //! Unified API — the whole Fig. 4 pipeline (top-k search, context summary,
 //! connection summary, complete results, cube processing) driven from
 //! textual requests through one `SedaReader`, ending with the paper's
-//! Query 1 cube computed by a single `CUBE … FOR …` statement.
+//! Query 1 cube computed by a single `CUBE … FOR …` statement.  Along the
+//! way: a prepared statement (plan once, execute many) and the optimizer's
+//! pass-by-pass rewrite trail.
 //!
 //! Run with `cargo run --release --example unified_api`.
 
@@ -33,6 +35,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  score {:.3}  {:?}", tuple.score, contents);
         }
         println!("{}", response.profile.render());
+    }
+
+    // 1b. Serve: prepare the same statement once and re-execute it.  Warm
+    //     re-executions skip parsing, the rewrite passes, sorted-access
+    //     resolution and — after the first run — most connectivity label
+    //     probes (the compactness memo is shared across executions).
+    let request = SedaRequest::parse(&format!("TOPK 5 FOR {query}"))?;
+    let mut prepared = reader.prepare(&request)?;
+    for _ in 0..3 {
+        prepared.execute(&mut reader)?;
+    }
+    println!(
+        "\n== PREPARED == {} executions, {} memoized compactness scores",
+        prepared.executions(),
+        prepared.cached_scores()
+    );
+    for line in prepared.plan().rewrite_trail() {
+        println!("  rewrite {line}");
     }
 
     // 2. Explore: context summary.
